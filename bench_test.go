@@ -1,0 +1,171 @@
+// Benchmarks mirroring the paper's evaluation artifacts: one benchmark
+// family per table/figure. Each family runs every method as a
+// sub-benchmark on representative datasets from the catalog, so
+//
+//	go test -bench=Table2 -benchmem
+//
+// reproduces the relative query-time ordering of Table 2, and so on. Full
+// multi-dataset tables (exact paper layout, all 27 datasets) come from
+// cmd/reachbench; these benches are the statistically-stable per-method
+// measurements behind them.
+package reach_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/tc"
+	"repro/internal/workload"
+)
+
+// benchGraph builds a catalog dataset at a bench-friendly size.
+func benchGraph(b *testing.B, name string, n int) *graph.Graph {
+	b.Helper()
+	spec, ok := dataset.ByName(name)
+	if !ok {
+		b.Fatalf("unknown dataset %s", name)
+	}
+	return spec.BuildAt(n)
+}
+
+// buildFor constructs one method's index, skipping the benchmark when the
+// method's budget rejects the graph (the "—" entries of the paper).
+func buildFor(b *testing.B, m bench.Method, g *graph.Graph) index.Index {
+	b.Helper()
+	est := tc.EstimatePairs(g, 48, 1)
+	idx, err := m.Build(g, est, bench.Config{}.WithDefaults())
+	if err != nil {
+		b.Skipf("%s skipped: %v", m.ID, err)
+	}
+	return idx
+}
+
+// queryBench measures per-query time for every method on one dataset.
+func queryBench(b *testing.B, dsName string, n int, kind workload.Kind) {
+	g := benchGraph(b, dsName, n)
+	wl, err := workload.Generate(g, kind, 10_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range bench.Methods() {
+		m := m
+		b.Run(m.ID, func(b *testing.B) {
+			idx := buildFor(b, m, g)
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				q := i % wl.Len()
+				if idx.Reachable(wl.U[q], wl.V[q]) {
+					sink++
+				}
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// constructionBench measures index build time for every method.
+func constructionBench(b *testing.B, dsName string, n int) {
+	g := benchGraph(b, dsName, n)
+	est := tc.EstimatePairs(g, 48, 1)
+	cfg := bench.Config{}.WithDefaults()
+	for _, m := range bench.Methods() {
+		m := m
+		b.Run(m.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx, err := m.Build(g, est, cfg)
+				if err != nil {
+					b.Skipf("%s skipped: %v", m.ID, err)
+				}
+				benchSizeSink = idx.SizeInts()
+			}
+		})
+	}
+}
+
+// sizeBench reports index size (the paper's integer-count metric) for
+// every method via ReportMetric.
+func sizeBench(b *testing.B, dsName string, n int) {
+	g := benchGraph(b, dsName, n)
+	est := tc.EstimatePairs(g, 48, 1)
+	cfg := bench.Config{}.WithDefaults()
+	for _, m := range bench.Methods() {
+		m := m
+		b.Run(m.ID, func(b *testing.B) {
+			var size int64
+			for i := 0; i < b.N; i++ {
+				idx, err := m.Build(g, est, cfg)
+				if err != nil {
+					b.Skipf("%s skipped: %v", m.ID, err)
+				}
+				size = idx.SizeInts()
+			}
+			b.ReportMetric(float64(size), "ints")
+		})
+	}
+}
+
+var (
+	benchSink     int
+	benchSizeSink int64
+)
+
+// BenchmarkTable1DatasetGen measures catalog generation itself (Table 1).
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	for _, name := range []string{"agrocyc", "arxiv", "cit-Patents", "uniprotenc_22m"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			spec, _ := dataset.ByName(name)
+			for i := 0; i < b.N; i++ {
+				g := spec.BuildAt(5000)
+				benchSink = g.NumEdges()
+			}
+		})
+	}
+}
+
+// BenchmarkTable2QueryEqualSmall: per-query cost, equal workload, a
+// small-graph representative (bio-tree family, the bulk of Table 2).
+func BenchmarkTable2QueryEqualSmall(b *testing.B) {
+	queryBench(b, "agrocyc", 12684, workload.Equal)
+}
+
+// BenchmarkTable3QueryRandomSmall: per-query cost, random workload.
+func BenchmarkTable3QueryRandomSmall(b *testing.B) {
+	queryBench(b, "agrocyc", 12684, workload.Random)
+}
+
+// BenchmarkTable4ConstructionSmall: construction on a small graph (kegg).
+func BenchmarkTable4ConstructionSmall(b *testing.B) {
+	constructionBench(b, "kegg", 3617)
+}
+
+// BenchmarkTable5QueryEqualLarge: per-query cost on a scaled large
+// citation graph — the regime where the reachability oracle wins.
+func BenchmarkTable5QueryEqualLarge(b *testing.B) {
+	queryBench(b, "citeseerx", 25_000, workload.Equal)
+}
+
+// BenchmarkTable6QueryRandomLarge: random workload on the same graph.
+func BenchmarkTable6QueryRandomLarge(b *testing.B) {
+	queryBench(b, "citeseerx", 25_000, workload.Random)
+}
+
+// BenchmarkTable7ConstructionLarge: construction on the scaled large
+// citation graph; budget-guarded methods skip, like the paper's "—".
+func BenchmarkTable7ConstructionLarge(b *testing.B) {
+	constructionBench(b, "citeseerx", 25_000)
+}
+
+// BenchmarkFig3IndexSizeSmall: index size metric, small representative.
+func BenchmarkFig3IndexSizeSmall(b *testing.B) {
+	sizeBench(b, "xmark", 6080)
+}
+
+// BenchmarkFig4IndexSizeLarge: index size metric, scaled large graph.
+func BenchmarkFig4IndexSizeLarge(b *testing.B) {
+	sizeBench(b, "wiki", 25_000)
+}

@@ -1,0 +1,98 @@
+// Command reachbench regenerates the tables and figures of Jin & Wang,
+// "Simple, Fast, and Scalable Reachability Oracle" (VLDB 2013) on the
+// synthetic dataset catalog.
+//
+// Usage:
+//
+//	reachbench -experiment table2 [-scale 16] [-queries 100000] [-methods DL,HL,GL] [-v]
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 fig3 fig4
+// small (tables 2-4 + fig3), large (tables 5-7 + fig4), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table1..table7, fig3, fig4, small, large, all)")
+		scale      = flag.Int("scale", dataset.DefaultScale, "divisor applied to large dataset sizes")
+		queries    = flag.Int("queries", workload.DefaultQueries, "queries per workload")
+		methods    = flag.String("methods", "", "comma-separated method subset (default: all 12)")
+		seed       = flag.Int64("seed", 1, "workload and randomized-build seed")
+		verbose    = flag.Bool("v", false, "log per-dataset progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *methods != "" {
+		for _, m := range strings.Split(*methods, ",") {
+			cfg.Methods = append(cfg.Methods, strings.TrimSpace(m))
+		}
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reachbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg bench.Config) error {
+	out := os.Stdout
+	runOne := func(id string) error {
+		switch id {
+		case "table1":
+			return bench.Table1(out, cfg)
+		case "table2":
+			return bench.QueryTable(out, "Table 2: query time (ms), equal workload, small graphs", dataset.Small, workload.Equal, cfg)
+		case "table3":
+			return bench.QueryTable(out, "Table 3: query time (ms), random workload, small graphs", dataset.Small, workload.Random, cfg)
+		case "table4":
+			return bench.ConstructionTable(out, "Table 4: construction time (ms), small graphs", dataset.Small, cfg)
+		case "table5":
+			return bench.QueryTable(out, "Table 5: query time (ms), equal workload, large graphs", dataset.Large, workload.Equal, cfg)
+		case "table6":
+			return bench.QueryTable(out, "Table 6: query time (ms), random workload, large graphs", dataset.Large, workload.Random, cfg)
+		case "table7":
+			return bench.ConstructionTable(out, "Table 7: construction time (ms), large graphs", dataset.Large, cfg)
+		case "fig3":
+			return bench.IndexSizeTable(out, "Figure 3: index size (number of integers), small graphs", dataset.Small, cfg)
+		case "fig4":
+			return bench.IndexSizeTable(out, "Figure 4: index size (number of integers), large graphs", dataset.Large, cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	switch experiment {
+	case "all":
+		if err := bench.Table1(out, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := bench.RunGroup(out, dataset.Small, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return bench.RunGroup(out, dataset.Large, cfg)
+	case "small":
+		// One pass per group: every index is built once per dataset and
+		// reused across Tables 2-4 and Figure 3.
+		return bench.RunGroup(out, dataset.Small, cfg)
+	case "large":
+		return bench.RunGroup(out, dataset.Large, cfg)
+	default:
+		return runOne(experiment)
+	}
+}

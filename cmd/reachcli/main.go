@@ -1,0 +1,117 @@
+// Command reachcli builds a reachability oracle for an edge-list file and
+// answers queries.
+//
+// Usage:
+//
+//	reachcli -graph g.txt -method DL [-stats] [u v]...
+//	echo "3 17" | reachcli -graph g.txt -method HL
+//
+// Queries are "u v" vertex pairs (original IDs from the input file),
+// either as trailing arguments (pairs of integers) or one per line on
+// stdin. Output is "u v true|false".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	reach "repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (required)")
+		method    = flag.String("method", "DL", "index method (DL, HL, GRAIL, INT, PW8, PT, KR, 2HOP, TF, PL, GL*, PT*, BFS)")
+		stats     = flag.Bool("stats", false, "print graph and index statistics")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *method, *stats, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "reachcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, method string, stats bool, args []string) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	g, orig, err := reach.ReadGraph(f)
+	if err != nil {
+		return err
+	}
+	// Map original file IDs to dense vertex numbers.
+	denseOf := make(map[int64]uint32, len(orig))
+	for dense, raw := range orig {
+		denseOf[raw] = uint32(dense)
+	}
+
+	start := time.Now()
+	oracle, err := reach.Build(g, reach.Method(method), reach.Options{})
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+
+	if stats {
+		fmt.Printf("graph: %d vertices (%d after condensation), %d DAG edges\n",
+			g.NumVertices(), g.DAGVertices(), g.DAGEdges())
+		fmt.Printf("index: method=%s size=%d ints build=%s\n",
+			oracle.Method(), oracle.IndexSizeInts(), buildTime)
+		if ls, err := oracle.LabelStats(); err == nil {
+			fmt.Printf("labels: avg|Lout|=%.2f avg|Lin|=%.2f max|Lout|=%d max|Lin|=%d\n",
+				ls.AvgOut, ls.AvgIn, ls.MaxOut, ls.MaxIn)
+		}
+	}
+
+	answer := func(rawU, rawV int64) error {
+		u, okU := denseOf[rawU]
+		v, okV := denseOf[rawV]
+		if !okU || !okV {
+			return fmt.Errorf("query (%d,%d): vertex not in graph", rawU, rawV)
+		}
+		fmt.Printf("%d %d %v\n", rawU, rawV, oracle.Reachable(u, v))
+		return nil
+	}
+
+	if len(args) > 0 {
+		if len(args)%2 != 0 {
+			return fmt.Errorf("query arguments must come in pairs")
+		}
+		for i := 0; i < len(args); i += 2 {
+			u, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad vertex %q: %v", args[i], err)
+			}
+			v, err := strconv.ParseInt(args[i+1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad vertex %q: %v", args[i+1], err)
+			}
+			if err := answer(u, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		var u, v int64
+		if _, err := fmt.Sscan(sc.Text(), &u, &v); err != nil {
+			return fmt.Errorf("bad query line %q: %v", sc.Text(), err)
+		}
+		if err := answer(u, v); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,51 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/plandmark"
+)
+
+// DistanceOracle answers exact shortest-path distance and k-hop
+// reachability queries ("k-reach", the generalization the paper's
+// conclusion names as future work) via pruned landmark labeling.
+type DistanceOracle struct {
+	g  *Graph
+	pl *plandmark.PL
+}
+
+// BuildDistance constructs a distance oracle. The input graph must be
+// acyclic: SCC condensation preserves reachability but not distances, so
+// graphs with cycles are rejected rather than silently answering with
+// condensed-DAG distances.
+func BuildDistance(g *Graph) (*DistanceOracle, error) {
+	if g.DAGVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("reach: distance oracle requires an acyclic graph (input has cycles)")
+	}
+	pl, err := plandmark.Build(g.dag)
+	if err != nil {
+		return nil, err
+	}
+	return &DistanceOracle{g: g, pl: pl}, nil
+}
+
+// Distance returns the shortest-path distance (in edges) from u to v, or
+// -1 if v is unreachable from u.
+func (d *DistanceOracle) Distance(u, v uint32) int32 {
+	return d.pl.Distance(uint32(d.g.comp[u]), uint32(d.g.comp[v]))
+}
+
+// WithinK reports whether u reaches v in at most k edges — the k-reach
+// query of Cheng et al. (PVLDB 2012), answered from the distance labels.
+func (d *DistanceOracle) WithinK(u, v uint32, k int32) bool {
+	dist := d.Distance(u, v)
+	return dist >= 0 && dist <= k
+}
+
+// Reachable reports plain reachability (k = ∞).
+func (d *DistanceOracle) Reachable(u, v uint32) bool {
+	return d.Distance(u, v) >= 0
+}
+
+// IndexSizeInts returns the label size in 32-bit integers.
+func (d *DistanceOracle) IndexSizeInts() int64 { return d.pl.SizeInts() }

@@ -1,0 +1,78 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func dagFixture(t *testing.T, seed int64) (*Graph, *graph.Graph) {
+	t.Helper()
+	raw := gen.XMLDAG(300, 4, 0.2, seed)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, raw
+}
+
+func TestDistanceOracleExact(t *testing.T) {
+	g, raw := dagFixture(t, 5)
+	d, err := BuildDistance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst := graph.NewVisitor(raw.NumVertices())
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < 3000; q++ {
+		u := uint32(rng.Intn(raw.NumVertices()))
+		v := uint32(rng.Intn(raw.NumVertices()))
+		want := vst.Distance(raw, graph.Vertex(u), graph.Vertex(v), graph.Forward)
+		if got := d.Distance(u, v); got != want {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+func TestWithinK(t *testing.T) {
+	g, raw := dagFixture(t, 9)
+	d, err := BuildDistance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst := graph.NewVisitor(raw.NumVertices())
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 1500; q++ {
+		u := uint32(rng.Intn(raw.NumVertices()))
+		v := uint32(rng.Intn(raw.NumVertices()))
+		k := int32(rng.Intn(6))
+		trueDist := vst.Distance(raw, graph.Vertex(u), graph.Vertex(v), graph.Forward)
+		want := trueDist >= 0 && trueDist <= k
+		if got := d.WithinK(u, v, k); got != want {
+			t.Fatalf("WithinK(%d,%d,%d) = %v, want %v (dist=%d)", u, v, k, got, want, trueDist)
+		}
+	}
+	if !d.Reachable(0, 0) {
+		t.Error("self not reachable")
+	}
+	if d.IndexSizeInts() <= 0 {
+		t.Error("empty index")
+	}
+}
+
+func TestDistanceRejectsCyclicInput(t *testing.T) {
+	g, err := NewGraph(2, [][2]uint32{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDistance(g); err == nil {
+		t.Fatal("cyclic input accepted by distance oracle")
+	}
+}

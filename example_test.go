@@ -1,0 +1,63 @@
+package reach_test
+
+import (
+	"fmt"
+
+	reach "repro"
+)
+
+// ExampleBuild demonstrates the core workflow: build a graph (cycles
+// allowed), index it with Distribution-Labeling, query.
+func ExampleBuild() {
+	g, err := reach.NewGraph(5, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 0}, // a 3-cycle
+		{2, 3}, // cycle reaches 3
+		{4, 3}, // 4 reaches 3 but nothing reaches 4
+	})
+	if err != nil {
+		panic(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(oracle.Reachable(0, 3)) // via the cycle
+	fmt.Println(oracle.Reachable(1, 0)) // same SCC
+	fmt.Println(oracle.Reachable(3, 4)) // wrong direction
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// ExampleBuildDistance shows k-hop reachability (the paper's future-work
+// k-reach generalization) via the pruned-landmark distance oracle.
+func ExampleBuildDistance() {
+	g, err := reach.NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		panic(err)
+	}
+	d, err := reach.BuildDistance(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Distance(0, 3)) // shortcut edge wins
+	fmt.Println(d.Distance(1, 3))
+	fmt.Println(d.WithinK(1, 3, 1)) // needs 2 hops
+	// Output:
+	// 1
+	// 2
+	// false
+}
+
+// ExampleGraph_SameComponent shows SCC condensation byproducts.
+func ExampleGraph_SameComponent() {
+	g, _ := reach.NewGraph(4, [][2]uint32{{0, 1}, {1, 0}, {2, 3}})
+	fmt.Println(g.SameComponent(0, 1))
+	fmt.Println(g.SameComponent(0, 2))
+	fmt.Println(g.DAGVertices())
+	// Output:
+	// true
+	// false
+	// 3
+}

@@ -1,0 +1,87 @@
+// Citations: index a synthetic citation network (the cit-Patents /
+// citeseerx workload that motivates the paper) and compare the oracle
+// against online BFS on transitive-citation queries.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	reach "repro"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func main() {
+	// A citation DAG in the shape of the paper's citeseerx dataset, scaled
+	// to run in seconds. Edge (u, v) means "paper u cites paper v".
+	spec, _ := dataset.ByName("citeseerx")
+	raw := spec.BuildAt(50_000)
+	fmt.Printf("citation network: %d papers, %d citations\n", raw.NumVertices(), raw.NumEdges())
+
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DL oracle built in %v (%d label integers)\n",
+		time.Since(start).Round(time.Millisecond), oracle.IndexSizeInts())
+
+	bfs, err := reach.Build(g, reach.MethodBFS, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Does paper u transitively build on paper v?" — run the same query
+	// batch through the oracle and through online BFS.
+	rng := rand.New(rand.NewSource(42))
+	const batch = 20_000
+	us := make([]uint32, batch)
+	vs := make([]uint32, batch)
+	for i := range us {
+		us[i] = uint32(rng.Intn(raw.NumVertices()))
+		vs[i] = uint32(rng.Intn(raw.NumVertices()))
+	}
+
+	start = time.Now()
+	oracleHits := 0
+	for i := range us {
+		if oracle.Reachable(us[i], vs[i]) {
+			oracleHits++
+		}
+	}
+	oracleTime := time.Since(start)
+
+	start = time.Now()
+	bfsHits := 0
+	for i := range us {
+		if bfs.Reachable(us[i], vs[i]) {
+			bfsHits++
+		}
+	}
+	bfsTime := time.Since(start)
+
+	if oracleHits != bfsHits {
+		log.Fatalf("oracle and BFS disagree: %d vs %d", oracleHits, bfsHits)
+	}
+	fmt.Printf("%d queries, %d positive\n", batch, oracleHits)
+	fmt.Printf("  DL oracle: %v total (%.2f µs/query)\n",
+		oracleTime.Round(time.Millisecond), float64(oracleTime.Microseconds())/batch)
+	fmt.Printf("  online BFS: %v total (%.2f µs/query)\n",
+		bfsTime.Round(time.Millisecond), float64(bfsTime.Microseconds())/batch)
+	fmt.Printf("  speedup: %.0fx\n", float64(bfsTime)/float64(oracleTime))
+}

@@ -1,0 +1,97 @@
+// Deps: dependency analysis over a software package graph — the
+// software-engineering use case from the paper's introduction. The input
+// contains dependency cycles (mutually recursive modules); the library
+// condenses them automatically. Both directions are useful: "does
+// building A require B?" (forward) and "what is the blast radius of
+// changing B?" (reverse, by counting ancestors).
+//
+//	go run ./examples/deps
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	reach "repro"
+)
+
+// buildDepGraph synthesizes a package universe: app packages depend on
+// lib packages, libs on core utilities, plus a few deliberate cycles.
+func buildDepGraph(n int, seed int64) [][2]uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]uint32
+	// Layers: apps [0, n/4), libs [n/4, 3n/4), core [3n/4, n).
+	apps, libs := n/4, 3*n/4
+	for p := 0; p < n; p++ {
+		var lo, hi int
+		switch {
+		case p < apps: // apps depend on libs and core
+			lo, hi = apps, n
+		case p < libs: // libs depend on core
+			lo, hi = libs, n
+		default: // core depends on nothing (mostly)
+			continue
+		}
+		deps := 1 + rng.Intn(5)
+		for d := 0; d < deps; d++ {
+			edges = append(edges, [2]uint32{uint32(p), uint32(lo + rng.Intn(hi-lo))})
+		}
+	}
+	// A few mutually recursive module pairs inside the lib layer.
+	for c := 0; c < 20; c++ {
+		a := uint32(apps + rng.Intn(libs-apps))
+		b := uint32(apps + rng.Intn(libs-apps))
+		if a != b {
+			edges = append(edges, [2]uint32{a, b}, [2]uint32{b, a})
+		}
+	}
+	return edges
+}
+
+func main() {
+	const n = 20_000
+	edges := buildDepGraph(n, 3)
+	g, err := reach.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dependency graph: %d packages, %d dependency edges\n", n, len(edges))
+	fmt.Printf("after cycle condensation: %d nodes (found %d packages in cycles)\n\n",
+		g.DAGVertices(), n-g.DAGVertices())
+
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Forward: does building package 0 pull in package n-1 (a core util)?
+	fmt.Printf("requires(pkg0, pkg%d) = %v\n", n-1, oracle.Reachable(0, n-1))
+	fmt.Printf("requires(pkg%d, pkg0) = %v (core never depends on apps)\n\n",
+		n-1, oracle.Reachable(uint32(n-1), 0))
+
+	// Reverse: blast radius = how many packages transitively depend on
+	// each of a few core utilities. (Queries run "backwards" by asking
+	// reachability INTO the target.)
+	type radius struct {
+		pkg   uint32
+		count int
+	}
+	var rs []radius
+	for _, target := range []uint32{n - 1, n - 2, n - 3, n - 4, n - 5} {
+		count := 0
+		for p := uint32(0); p < n; p++ {
+			if p != target && oracle.Reachable(p, target) {
+				count++
+			}
+		}
+		rs = append(rs, radius{pkg: target, count: count})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].count > rs[j].count })
+	fmt.Println("blast radius of core utilities (dependents):")
+	for _, r := range rs {
+		fmt.Printf("  pkg%d: %d dependents (%.1f%% of universe)\n",
+			r.pkg, r.count, 100*float64(r.count)/float64(n))
+	}
+}

@@ -1,0 +1,102 @@
+// Ontology: subsumption checking over a GO-style ontology (the
+// go-uniprot workload from the paper's Table 1). Terms form a DAG via
+// is-a/part-of links with multiple parents; "is term A a kind of term B"
+// is exactly a reachability query.
+//
+//	go run ./examples/ontology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	reach "repro"
+)
+
+// buildOntology generates a layered is-a DAG: `terms` terms across
+// `depth` abstraction levels; each term gets 1-3 parents from the levels
+// above (multiple inheritance, like the Gene Ontology).
+func buildOntology(terms, depth int, seed int64) (int, [][2]uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	perLevel := terms / depth
+	var edges [][2]uint32
+	levelOf := func(t int) int {
+		l := t / perLevel
+		if l >= depth {
+			l = depth - 1
+		}
+		return l
+	}
+	for t := perLevel; t < terms; t++ {
+		parents := 1 + rng.Intn(3)
+		for p := 0; p < parents; p++ {
+			// Parent from any strictly higher level (lower index).
+			lvl := levelOf(t)
+			pl := rng.Intn(lvl)
+			parent := pl*perLevel + rng.Intn(perLevel)
+			// Edge child -> parent: "t is-a parent".
+			edges = append(edges, [2]uint32{uint32(t), uint32(parent)})
+		}
+	}
+	return terms, edges
+}
+
+func main() {
+	n, edges := buildOntology(30_000, 12, 7)
+	g, err := reach.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ontology: %d terms, %d is-a links\n", n, g.DAGEdges())
+
+	// HL mirrors the ontology's own hierarchy; both HL and DL work.
+	oracle, err := reach.Build(g, reach.MethodHL, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := oracle.LabelStats()
+	fmt.Printf("HL oracle: %d label integers (avg |Lout| %.1f, avg |Lin| %.1f)\n\n",
+		oracle.IndexSizeInts(), stats.AvgOut, stats.AvgIn)
+
+	// Subsumption: is term A a specialization of term B? Walk a real
+	// parent chain from a deep leaf so the positive case is guaranteed,
+	// then probe unrelated and reversed pairs.
+	firstParent := make(map[uint32]uint32)
+	for _, e := range edges {
+		if _, ok := firstParent[e[0]]; !ok {
+			firstParent[e[0]] = e[1]
+		}
+	}
+	leaf := uint32(29_999)
+	ancestor := leaf
+	for {
+		p, ok := firstParent[ancestor]
+		if !ok {
+			break
+		}
+		ancestor = p
+	}
+	samples := [][2]uint32{
+		{leaf, firstParent[leaf]}, // direct parent
+		{leaf, ancestor},          // transitive root ancestor
+		{leaf, (ancestor + 1) % 2500},
+		{ancestor, leaf}, // wrong direction: ancestors are not kinds of leaves
+	}
+	for _, s := range samples {
+		fmt.Printf("isA(term%d, term%d) = %v\n", s[0], s[1], oracle.Reachable(s[0], s[1]))
+	}
+
+	// Batch classification: how many of the deepest 1000 terms fall under
+	// top-level category 0..9?
+	count := 0
+	for t := uint32(29_000); t < 30_000; t++ {
+		for c := uint32(0); c < 10; c++ {
+			if oracle.Reachable(t, c) {
+				count++
+				break
+			}
+		}
+	}
+	fmt.Printf("\n%d of the 1000 deepest terms subsume under the first 10 categories\n", count)
+}

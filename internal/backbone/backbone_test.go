@@ -1,0 +1,357 @@
+package backbone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// pathChain is 0 -> 1 -> 2 -> ... -> 9.
+func pathChain(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := make([][2]graph.Vertex, 0, 9)
+	for i := 0; i < 9; i++ {
+		edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(i + 1)})
+	}
+	return graph.MustFromEdges(10, edges)
+}
+
+// coversAllPaths verifies that every directed path with exactly eps edges
+// contains a selected vertex (the FastCover invariant).
+func coversAllPaths(g *graph.Graph, inStar []bool, eps int) bool {
+	ok := true
+	var rec func(v graph.Vertex, depth int, hit bool)
+	rec = func(v graph.Vertex, depth int, hit bool) {
+		hit = hit || inStar[v]
+		if depth == eps {
+			if !hit {
+				ok = false
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		for _, w := range g.Out(v) {
+			rec(w, depth+1, hit)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		rec(graph.Vertex(v), 0, false)
+	}
+	return ok
+}
+
+func TestExtractCoversChain(t *testing.T) {
+	g := pathChain(t)
+	bb := Extract(g, Config{Epsilon: 2})
+	if !coversAllPaths(g, bb.InStar, 2) {
+		t.Fatal("backbone does not cover all 2-paths")
+	}
+	if len(bb.Vertices) == 0 || len(bb.Vertices) >= g.NumVertices() {
+		t.Fatalf("backbone size %d of %d is not a real reduction", len(bb.Vertices), g.NumVertices())
+	}
+	if err := bb.Star.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsDAG(bb.Star) {
+		t.Fatal("backbone graph has a cycle")
+	}
+}
+
+func TestExtractLocalIDsConsistent(t *testing.T) {
+	g := gen.UniformDAG(200, 500, 1)
+	bb := Extract(g, DefaultConfig())
+	for li, v := range bb.Vertices {
+		if !bb.InStar[v] {
+			t.Fatalf("Vertices[%d]=%d not marked InStar", li, v)
+		}
+		if bb.LocalID[v] != int32(li) {
+			t.Fatalf("LocalID[%d] = %d, want %d", v, bb.LocalID[v], li)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !bb.InStar[v] && bb.LocalID[v] != -1 {
+			t.Fatalf("non-member %d has local ID %d", v, bb.LocalID[v])
+		}
+	}
+}
+
+// TestBackbonePreservesReachability checks Lemma 1 claim 1: for backbone
+// vertices, reachability in G* equals reachability in G.
+func TestBackbonePreservesReachability(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"uniform":  gen.UniformDAG(150, 400, 3),
+		"tree":     gen.TreeDAG(150, 0.2, 0, 3),
+		"citation": gen.CitationDAG(150, 3, 0.5, 3),
+		"chain":    gen.ChainDAG(150, 6, 0.2, 3),
+	}
+	for name, g := range families {
+		for _, eps := range []int{1, 2, 3} {
+			bb := Extract(g, Config{Epsilon: eps})
+			vg := graph.NewVisitor(g.NumVertices())
+			vs := graph.NewVisitor(bb.Star.NumVertices())
+			rng := rand.New(rand.NewSource(9))
+			for q := 0; q < 300; q++ {
+				if len(bb.Vertices) < 2 {
+					break
+				}
+				a := bb.Vertices[rng.Intn(len(bb.Vertices))]
+				b := bb.Vertices[rng.Intn(len(bb.Vertices))]
+				want := vg.Reachable(g, a, b)
+				got := vs.Reachable(bb.Star, graph.Vertex(bb.LocalID[a]), graph.Vertex(bb.LocalID[b]))
+				if got != want {
+					t.Fatalf("%s eps=%d: reach(%d,%d) = %v in G*, want %v", name, eps, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBackboneProperty checks the one-side backbone property: every
+// non-local reachable pair has backbone entry/exit vertices within ε that
+// are connected in G*.
+func TestBackboneProperty(t *testing.T) {
+	g := gen.UniformDAG(120, 300, 5)
+	eps := int32(2)
+	bb := Extract(g, Config{Epsilon: int(eps)})
+	vst := graph.NewVisitor(g.NumVertices())
+	aux := graph.NewVisitor(g.NumVertices())
+	star := graph.NewVisitor(bb.Star.NumVertices())
+	rng := rand.New(rand.NewSource(2))
+
+	for q := 0; q < 400; q++ {
+		u := graph.Vertex(rng.Intn(g.NumVertices()))
+		v := graph.Vertex(rng.Intn(g.NumVertices()))
+		if u == v || !vst.Reachable(g, u, v) {
+			continue
+		}
+		if d := vst.Distance(g, u, v, graph.Forward); d <= eps {
+			continue // local pair: property does not apply
+		}
+		// Collect entries (backbone within ε forward of u) and exits
+		// (backbone within ε backward of v).
+		var entries, exits []int32
+		aux.BoundedBFS(g, u, graph.Forward, eps, func(w graph.Vertex, _ int32) {
+			if bb.InStar[w] {
+				entries = append(entries, bb.LocalID[w])
+			}
+		})
+		aux.BoundedBFS(g, v, graph.Backward, eps, func(w graph.Vertex, _ int32) {
+			if bb.InStar[w] {
+				exits = append(exits, bb.LocalID[w])
+			}
+		})
+		found := false
+		for _, e := range entries {
+			for _, x := range exits {
+				if e == x || star.Reachable(bb.Star, graph.Vertex(e), graph.Vertex(x)) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("pair (%d,%d): no connected entry/exit in backbone", u, v)
+		}
+	}
+}
+
+func TestDecomposeShrinks(t *testing.T) {
+	g := gen.TreeDAG(3000, 0.1, 0, 7)
+	h := Decompose(g, DecomposeConfig{CoreLimit: 100, MaxLevels: 10})
+	if len(h.Levels) < 2 {
+		t.Fatalf("no decomposition happened: %d levels", len(h.Levels))
+	}
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i].G.NumVertices() >= h.Levels[i-1].G.NumVertices() {
+			t.Fatalf("level %d did not shrink: %d >= %d", i,
+				h.Levels[i].G.NumVertices(), h.Levels[i-1].G.NumVertices())
+		}
+	}
+	last := h.Core().G.NumVertices()
+	if last > 100 && len(h.Levels) < 11 {
+		t.Errorf("core still has %d vertices with only %d levels", last, len(h.Levels))
+	}
+}
+
+func TestDecomposeLevelOf(t *testing.T) {
+	g := gen.UniformDAG(800, 2000, 8)
+	h := Decompose(g, DecomposeConfig{CoreLimit: 50, MaxLevels: 6})
+	levelOf := h.LevelOf()
+	// Every vertex of level i's ToOrig must have levelOf >= i.
+	for i, lv := range h.Levels {
+		for _, orig := range lv.ToOrig {
+			if levelOf[orig] < i {
+				t.Fatalf("vertex %d appears at level %d but levelOf=%d", orig, i, levelOf[orig])
+			}
+		}
+	}
+	// Counts per level match level sizes.
+	count := make([]int, len(h.Levels))
+	for _, l := range levelOf {
+		count[l]++
+	}
+	for i := range h.Levels {
+		wantHere := h.Levels[i].G.NumVertices()
+		if i+1 < len(h.Levels) {
+			wantHere -= h.Levels[i+1].G.NumVertices()
+		}
+		if count[i] != wantHere {
+			t.Errorf("level %d: %d vertices, want %d", i, count[i], wantHere)
+		}
+	}
+}
+
+func TestDecomposePreservesReachabilityAcrossLevels(t *testing.T) {
+	g := gen.CitationDAG(600, 2.5, 0.4, 4)
+	h := Decompose(g, DecomposeConfig{CoreLimit: 40, MaxLevels: 8})
+	rng := rand.New(rand.NewSource(6))
+	v0 := graph.NewVisitor(g.NumVertices())
+	for i := 1; i < len(h.Levels); i++ {
+		lv := h.Levels[i]
+		vi := graph.NewVisitor(lv.G.NumVertices())
+		for q := 0; q < 100; q++ {
+			if lv.G.NumVertices() < 2 {
+				break
+			}
+			a := graph.Vertex(rng.Intn(lv.G.NumVertices()))
+			b := graph.Vertex(rng.Intn(lv.G.NumVertices()))
+			got := vi.Reachable(lv.G, a, b)
+			want := v0.Reachable(g, lv.ToOrig[a], lv.ToOrig[b])
+			if got != want {
+				t.Fatalf("level %d: reach(%d,%d) = %v, original says %v", i, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSetsMembersAreBackboneWithinEps(t *testing.T) {
+	g := gen.UniformDAG(150, 400, 10)
+	eps := 2
+	bb := Extract(g, Config{Epsilon: eps})
+	bout, bin := Sets(g, bb.InStar, eps)
+	vst := graph.NewVisitor(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range bout[v] {
+			if !bb.InStar[w] {
+				t.Fatalf("Bout(%d) contains non-backbone %d", v, w)
+			}
+			if d := vst.Distance(g, graph.Vertex(v), w, graph.Forward); d < 0 || d > int32(eps) {
+				t.Fatalf("Bout(%d) member %d at distance %d", v, w, d)
+			}
+		}
+		for _, w := range bin[v] {
+			if !bb.InStar[w] {
+				t.Fatalf("Bin(%d) contains non-backbone %d", v, w)
+			}
+			if d := vst.Distance(g, w, graph.Vertex(v), graph.Forward); d < 0 || d > int32(eps) {
+				t.Fatalf("Bin(%d) member %d at distance %d", v, w, d)
+			}
+		}
+	}
+}
+
+// TestSetsDominate checks the property the HL proof relies on: every
+// backbone vertex within ε of v is reached from some member of Bεout(v)
+// (resp. reaches some member of Bεin(v)).
+func TestSetsDominate(t *testing.T) {
+	g := gen.CitationDAG(150, 3, 0.5, 11)
+	eps := 2
+	bb := Extract(g, Config{Epsilon: eps})
+	bout, bin := Sets(g, bb.InStar, eps)
+	vst := graph.NewVisitor(g.NumVertices())
+	aux := graph.NewVisitor(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		var nearBB []graph.Vertex
+		aux.BoundedBFS(g, graph.Vertex(v), graph.Forward, int32(eps), func(w graph.Vertex, _ int32) {
+			if bb.InStar[w] && w != graph.Vertex(v) {
+				nearBB = append(nearBB, w)
+			}
+		})
+		for _, w := range nearBB {
+			ok := false
+			for _, x := range bout[v] {
+				if x == w || vst.Reachable(g, x, w) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("backbone %d near %d not dominated by Bout=%v", w, v, bout[v])
+			}
+		}
+		nearBB = nearBB[:0]
+		aux.BoundedBFS(g, graph.Vertex(v), graph.Backward, int32(eps), func(w graph.Vertex, _ int32) {
+			if bb.InStar[w] && w != graph.Vertex(v) {
+				nearBB = append(nearBB, w)
+			}
+		})
+		for _, w := range nearBB {
+			ok := false
+			for _, x := range bin[v] {
+				if x == w || vst.Reachable(g, w, x) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("backbone %d near %d (backward) not dominated by Bin=%v", w, v, bin[v])
+			}
+		}
+	}
+}
+
+// Property: cover invariant holds across random graphs and ε values.
+func TestCoverInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.UniformDAG(40+rng.Intn(60), 100+rng.Intn(150), seed)
+		for _, eps := range []int{1, 2} {
+			bb := Extract(g, Config{Epsilon: eps})
+			if !coversAllPaths(g, bb.InStar, eps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractHubCap(t *testing.T) {
+	// A star hub: 50 sources -> hub -> 50 sinks. With a tiny HubCap the hub
+	// must be forced into the backbone.
+	b := graph.NewBuilder(101)
+	hub := graph.Vertex(100)
+	for i := 0; i < 50; i++ {
+		b.AddEdge(graph.Vertex(i), hub)
+		b.AddEdge(hub, graph.Vertex(50+i))
+	}
+	g := b.MustBuild()
+	bb := Extract(g, Config{Epsilon: 2, HubCap: 10})
+	if !bb.InStar[hub] {
+		t.Fatal("hub not forced into backbone")
+	}
+	if len(bb.Vertices) > 10 {
+		t.Errorf("backbone unexpectedly large: %d vertices", len(bb.Vertices))
+	}
+}
+
+func TestDecomposeTinyGraph(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}})
+	h := Decompose(g, DecomposeConfig{})
+	if len(h.Levels) != 1 {
+		t.Fatalf("tiny graph decomposed into %d levels", len(h.Levels))
+	}
+	if h.Core().G.NumVertices() != 2 {
+		t.Fatal("core is not the input graph")
+	}
+}

@@ -1,0 +1,175 @@
+package backbone
+
+import "repro/internal/graph"
+
+// Level is one graph Gi of the hierarchical DAG decomposition
+// (Definition 2). Vertices are local IDs within the level.
+type Level struct {
+	// G is the level graph Gi.
+	G *graph.Graph
+	// ToOrig maps a local vertex to its original (level-0) vertex ID.
+	ToOrig []graph.Vertex
+	// InNext reports whether a local vertex was selected into level i+1's
+	// backbone. Nil for the top (core) level.
+	InNext []bool
+	// ToNext maps a local vertex to its local ID at level i+1, or -1.
+	// Nil for the top level.
+	ToNext []int32
+}
+
+// Hierarchy is the full decomposition V0 ⊃ V1 ⊃ … ⊃ Vh; Levels[0] wraps the
+// input graph and Levels[h] is the core graph.
+type Hierarchy struct {
+	Eps    int
+	Levels []*Level
+}
+
+// Core returns the top (smallest) level graph Gh.
+func (h *Hierarchy) Core() *Level { return h.Levels[len(h.Levels)-1] }
+
+// LevelOf returns, for every original vertex, the highest level whose
+// vertex set still contains it (level(v) in the paper's notation).
+func (h *Hierarchy) LevelOf() []int {
+	level := make([]int, h.Levels[0].G.NumVertices())
+	for i, lv := range h.Levels {
+		for _, orig := range lv.ToOrig {
+			level[orig] = i
+		}
+	}
+	return level
+}
+
+// DecomposeConfig controls hierarchy construction. The stopping rules
+// follow the paper's practical guidance (§4.2): bound the number of levels
+// and stop once the core is small enough for direct labeling.
+type DecomposeConfig struct {
+	Backbone Config
+	// CoreLimit stops decomposition once |Vi| ≤ CoreLimit. Default 1024.
+	CoreLimit int
+	// MaxLevels bounds h. Default 10.
+	MaxLevels int
+}
+
+func (c DecomposeConfig) withDefaults() DecomposeConfig {
+	c.Backbone = c.Backbone.withDefaults()
+	if c.CoreLimit <= 0 {
+		c.CoreLimit = 1024
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 10
+	}
+	return c
+}
+
+// Decompose builds the recursive backbone hierarchy of DAG g.
+func Decompose(g *graph.Graph, cfg DecomposeConfig) *Hierarchy {
+	cfg = cfg.withDefaults()
+	h := &Hierarchy{Eps: cfg.Backbone.Epsilon}
+
+	toOrig := make([]graph.Vertex, g.NumVertices())
+	for i := range toOrig {
+		toOrig[i] = graph.Vertex(i)
+	}
+	cur := &Level{G: g, ToOrig: toOrig}
+	h.Levels = append(h.Levels, cur)
+
+	for len(h.Levels) < cfg.MaxLevels+1 && cur.G.NumVertices() > cfg.CoreLimit {
+		bb := Extract(cur.G, cfg.Backbone)
+		if len(bb.Vertices) == 0 || len(bb.Vertices) >= cur.G.NumVertices() {
+			break // no shrink: recursing further cannot help
+		}
+		cur.InNext = bb.InStar
+		cur.ToNext = bb.LocalID
+		nextToOrig := make([]graph.Vertex, len(bb.Vertices))
+		for li, parentLocal := range bb.Vertices {
+			nextToOrig[li] = cur.ToOrig[parentLocal]
+		}
+		cur = &Level{G: bb.Star, ToOrig: nextToOrig}
+		h.Levels = append(h.Levels, cur)
+	}
+	return h
+}
+
+// Sets computes the outgoing and incoming backbone vertex sets
+// Bεout(v|Gi) and Bεin(v|Gi) (Formulas 1 and 2) for every vertex of level
+// graph g, as local vertex IDs of g itself (members are vertices with
+// inNext true). The exclusion rule fires only with a strictly closer
+// witness, mirroring the reduction rule (see the package comment).
+func Sets(g *graph.Graph, inNext []bool, eps int) (bout, bin [][]graph.Vertex) {
+	n := g.NumVertices()
+	e := int32(eps)
+
+	// near[d][a] = backbone vertices within ε steps of backbone vertex a in
+	// direction d, with distances, as sorted parallel slices (maps here
+	// dominated HL's construction profile on dense graphs).
+	near := [2][]nearList{}
+	var backboneIDs []graph.Vertex
+	for v := 0; v < n; v++ {
+		if inNext[v] {
+			backboneIDs = append(backboneIDs, graph.Vertex(v))
+		}
+	}
+	vst := graph.NewVisitor(n)
+	for dir := 0; dir < 2; dir++ {
+		near[dir] = make([]nearList, n)
+		for _, a := range backboneIDs {
+			var nl nearList
+			vst.BoundedBFS(g, a, graph.Direction(dir), e, func(w graph.Vertex, d int32) {
+				if inNext[w] && w != a {
+					nl.v = append(nl.v, int32(w))
+					nl.d = append(nl.d, d)
+				}
+			})
+			sortNearList(&nl)
+			near[dir][a] = nl
+		}
+	}
+
+	bout = make([][]graph.Vertex, n)
+	bin = make([][]graph.Vertex, n)
+	var cands []candDist
+	for v := 0; v < n; v++ {
+		for dir := 0; dir < 2; dir++ {
+			cands = cands[:0]
+			vst.BoundedBFS(g, graph.Vertex(v), graph.Direction(dir), e, func(w graph.Vertex, d int32) {
+				if inNext[w] && w != graph.Vertex(v) {
+					cands = append(cands, candDist{v: w, d: d})
+				}
+			})
+			var kept []graph.Vertex
+			for _, c := range cands {
+				if !excluded(near[dir], cands, c, e) {
+					kept = append(kept, c.v)
+				}
+			}
+			if dir == int(graph.Forward) {
+				bout[v] = kept
+			} else {
+				bin[v] = kept
+			}
+		}
+	}
+	return bout, bin
+}
+
+// candDist pairs a backbone vertex with its distance from the vertex whose
+// backbone set is being computed.
+type candDist struct {
+	v graph.Vertex
+	d int32
+}
+
+// excluded reports whether candidate c (a backbone vertex at distance c.d
+// from v) is dominated by a strictly closer backbone vertex x with
+// x -> c.v within ε (forward direction; mirrored for backward).
+func excluded(near []nearList, cands []candDist, c candDist, eps int32) bool {
+	for _, x := range cands {
+		if x.v == c.v || x.d >= c.d {
+			continue
+		}
+		if dxc := near[x.v].distTo(int32(c.v)); dxc >= 0 && dxc <= eps {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,408 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6): query-time tables (2, 3, 5,
+// 6), construction-time tables (4, 7) and index-size figures (3, 4), over
+// the dataset catalog's synthetic substitutes.
+//
+// Methods that exceed their resource budget are reported as "—", exactly
+// like the paper's tables mark methods that ran out of memory or time.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/intervalidx"
+	"repro/internal/kreach"
+	"repro/internal/pathtree"
+	"repro/internal/plandmark"
+	"repro/internal/pwahidx"
+	"repro/internal/scarab"
+	"repro/internal/tc"
+	"repro/internal/tflabel"
+	"repro/internal/twohop"
+	"repro/internal/workload"
+)
+
+// ErrSkipped marks a method excluded by a resource budget ("—" in tables).
+var ErrSkipped = errors.New("bench: method skipped by resource budget")
+
+// Config controls a harness run.
+type Config struct {
+	// Scale divides large-dataset sizes (default dataset.DefaultScale).
+	Scale int
+	// Queries per workload (default workload.DefaultQueries).
+	Queries int
+	// Seed drives workload generation and randomized builds.
+	Seed int64
+	// Methods restricts the column set (nil = all, in paper order).
+	Methods []string
+	// Budgets: estimated reachable-pair ceilings for closure-based methods.
+	MaxINTPairs  int64 // default 200M
+	MaxPW8Pairs  int64 // default 400M
+	MaxPTEntries int64 // default 60M
+	MaxPLPairs   int64 // default 120M (PL distance labels grow with closure density)
+	// MaxLabelPairs skips the hierarchy-based labelings (HL, TF) above this
+	// estimated closure size; their label-broadcast cost tracks closure
+	// density (the paper's HL also fails on cit-Patents, its densest graph).
+	MaxLabelPairs int64 // default 700M
+	// TwoHopMaxTime caps set-cover 2HOP construction per graph — the
+	// scaled analogue of the paper's 24-hour limit (default 2 minutes).
+	TwoHopMaxTime time.Duration
+	// Verbose, when non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+func (c Config) WithDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = dataset.DefaultScale
+	}
+	if c.Queries <= 0 {
+		c.Queries = workload.DefaultQueries
+	}
+	if c.MaxINTPairs <= 0 {
+		c.MaxINTPairs = 200_000_000
+	}
+	if c.MaxPW8Pairs <= 0 {
+		c.MaxPW8Pairs = 400_000_000
+	}
+	if c.MaxPTEntries <= 0 {
+		c.MaxPTEntries = 60_000_000
+	}
+	if c.MaxPLPairs <= 0 {
+		c.MaxPLPairs = 120_000_000
+	}
+	if c.MaxLabelPairs <= 0 {
+		c.MaxLabelPairs = 700_000_000
+	}
+	if c.TwoHopMaxTime <= 0 {
+		c.TwoHopMaxTime = 2 * time.Minute
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// MethodOrder is the paper's table column order.
+var MethodOrder = []string{"GL", "GL*", "PT", "PT*", "KR", "PW8", "INT", "2HOP", "PL", "TF", "HL", "DL"}
+
+// Method is one index method under benchmark.
+type Method struct {
+	ID    string
+	Build func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error)
+}
+
+// Methods returns the full method registry in paper order.
+func Methods() []Method {
+	return []Method{
+		{ID: "GL", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			return grail.Build(g, grail.Options{Seed: cfg.Seed}), nil
+		}},
+		{ID: "GL*", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			return scarab.Build(g, "GL*", func(star *graph.Graph) (index.Index, error) {
+				return grail.Build(star, grail.Options{Seed: cfg.Seed}), nil
+			})
+		}},
+		{ID: "PT", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			pt, err := pathtree.Build(g, pathtree.Options{MaxEntries: cfg.MaxPTEntries})
+			if errors.Is(err, pathtree.ErrTooLarge) {
+				return nil, ErrSkipped
+			}
+			return pt, err
+		}},
+		{ID: "PT*", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			s, err := scarab.Build(g, "PT*", func(star *graph.Graph) (index.Index, error) {
+				return pathtree.Build(star, pathtree.Options{MaxEntries: cfg.MaxPTEntries})
+			})
+			if errors.Is(err, pathtree.ErrTooLarge) {
+				return nil, ErrSkipped
+			}
+			return s, err
+		}},
+		{ID: "KR", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			k, err := kreach.BuildWithOptions(g, kreach.Options{})
+			if errors.Is(err, kreach.ErrTooLarge) {
+				return nil, ErrSkipped
+			}
+			return k, err
+		}},
+		{ID: "PW8", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+			if estPairs > cfg.MaxPW8Pairs {
+				return nil, ErrSkipped
+			}
+			return pwahidx.Build(g), nil
+		}},
+		{ID: "INT", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+			if estPairs > cfg.MaxINTPairs {
+				return nil, ErrSkipped
+			}
+			return intervalidx.Build(g), nil
+		}},
+		{ID: "2HOP", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			th, err := twohop.Build(g, twohop.Options{MaxTime: cfg.TwoHopMaxTime})
+			if errors.Is(err, twohop.ErrTooLarge) || errors.Is(err, twohop.ErrTimeout) {
+				return nil, ErrSkipped
+			}
+			return th, err
+		}},
+		{ID: "PL", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+			if estPairs > cfg.MaxPLPairs {
+				return nil, ErrSkipped
+			}
+			return plandmark.Build(g)
+		}},
+		{ID: "TF", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+			if estPairs > cfg.MaxLabelPairs {
+				return nil, ErrSkipped
+			}
+			return tflabel.Build(g, tflabel.Options{})
+		}},
+		{ID: "HL", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+			if estPairs > cfg.MaxLabelPairs {
+				return nil, ErrSkipped
+			}
+			return core.BuildHL(g, core.HLOptions{})
+		}},
+		{ID: "DL", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
+			return core.BuildDL(g, core.DLOptions{})
+		}},
+	}
+}
+
+// selectMethods filters the registry by cfg.Methods (nil = all).
+func selectMethods(cfg Config) []Method {
+	all := Methods()
+	if len(cfg.Methods) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, id := range cfg.Methods {
+		want[id] = true
+	}
+	var out []Method
+	for _, m := range all {
+		if want[m.ID] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Report is a rendered experiment table.
+type Report struct {
+	Title   string
+	Columns []string // first column is the dataset name
+	Rows    [][]string
+}
+
+// Write renders the report with aligned columns.
+func (r *Report) Write(w io.Writer) error {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", r.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			pad := widths[i] - len(cell)
+			if i == 0 {
+				if _, err := fmt.Fprintf(w, "%-*s", widths[i]+2, cell); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s  ", spaces(pad), cell); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := writeRow(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func spaces(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return string(b)
+}
+
+// buildOne constructs one method's index with timing; ErrSkipped and
+// budget errors yield (nil, 0, ErrSkipped).
+func buildOne(m Method, g *graph.Graph, estPairs int64, cfg Config) (index.Index, time.Duration, error) {
+	start := time.Now()
+	idx, err := m.Build(g, estPairs, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, ErrSkipped) {
+			return nil, 0, ErrSkipped
+		}
+		return nil, 0, err
+	}
+	return idx, elapsed, nil
+}
+
+// estimatePairs samples the graph's reachable-pair count for budgets.
+func estimatePairs(g *graph.Graph, seed int64) int64 {
+	return tc.EstimatePairs(g, 48, seed)
+}
+
+// Table1 renders the dataset inventory (paper Table 1) with both the paper
+// sizes and the realized synthetic sizes at the configured scale.
+func Table1(w io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	rep := &Report{
+		Title:   "Table 1: datasets (paper sizes vs synthetic substitutes)",
+		Columns: []string{"dataset", "class", "|V| paper", "|E| paper", "|V| built", "|E| built", "family"},
+	}
+	for _, spec := range dataset.All() {
+		cfg.logf("table1: building %s", spec.Name)
+		g := spec.Build(cfg.Scale)
+		rep.Rows = append(rep.Rows, []string{
+			spec.Name, spec.Class.String(),
+			fmt.Sprintf("%d", spec.PaperV), fmt.Sprintf("%d", spec.PaperE),
+			fmt.Sprintf("%d", g.NumVertices()), fmt.Sprintf("%d", g.NumEdges()),
+			spec.Family,
+		})
+	}
+	return rep.Write(w)
+}
+
+// QueryTable renders a query-time table: Table 2 (small, equal), Table 3
+// (small, random), Table 5 (large, equal) or Table 6 (large, random).
+func QueryTable(w io.Writer, title string, class dataset.Class, kind workload.Kind, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	methods := selectMethods(cfg)
+	rep := &Report{Title: title, Columns: append([]string{"dataset"}, ids(methods)...)}
+
+	for _, spec := range specsOf(class) {
+		cfg.logf("%s: dataset %s", title, spec.Name)
+		g := spec.Build(cfg.Scale)
+		est := estimatePairs(g, cfg.Seed)
+		wl, err := workload.Generate(g, kind, cfg.Queries, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("workload for %s: %w", spec.Name, err)
+		}
+		row := []string{spec.Name}
+		for _, m := range methods {
+			idx, _, err := buildOne(m, g, est, cfg)
+			if err != nil {
+				row = append(row, cellForError(err, cfg, spec.Name, m.ID))
+				continue
+			}
+			start := time.Now()
+			checksum := wl.Run(idx)
+			elapsed := time.Since(start)
+			_ = checksum
+			row = append(row, fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000.0))
+			cfg.logf("  %-5s built and queried (%.1f ms)", m.ID, float64(elapsed.Microseconds())/1000.0)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep.Write(w)
+}
+
+// ConstructionTable renders Table 4 (small) or Table 7 (large):
+// construction time in milliseconds per method.
+func ConstructionTable(w io.Writer, title string, class dataset.Class, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	methods := selectMethods(cfg)
+	rep := &Report{Title: title, Columns: append([]string{"dataset"}, ids(methods)...)}
+	for _, spec := range specsOf(class) {
+		cfg.logf("%s: dataset %s", title, spec.Name)
+		g := spec.Build(cfg.Scale)
+		est := estimatePairs(g, cfg.Seed)
+		row := []string{spec.Name}
+		for _, m := range methods {
+			_, elapsed, err := buildOne(m, g, est, cfg)
+			if err != nil {
+				row = append(row, cellForError(err, cfg, spec.Name, m.ID))
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000.0))
+			cfg.logf("  %-5s built in %s", m.ID, elapsed)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep.Write(w)
+}
+
+// IndexSizeTable renders Figure 3 (small) or Figure 4 (large): index size
+// in number of 32-bit integers per method.
+func IndexSizeTable(w io.Writer, title string, class dataset.Class, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	methods := selectMethods(cfg)
+	rep := &Report{Title: title, Columns: append([]string{"dataset"}, ids(methods)...)}
+	for _, spec := range specsOf(class) {
+		cfg.logf("%s: dataset %s", title, spec.Name)
+		g := spec.Build(cfg.Scale)
+		est := estimatePairs(g, cfg.Seed)
+		row := []string{spec.Name}
+		for _, m := range methods {
+			idx, _, err := buildOne(m, g, est, cfg)
+			if err != nil {
+				row = append(row, cellForError(err, cfg, spec.Name, m.ID))
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d", idx.SizeInts()))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep.Write(w)
+}
+
+func cellForError(err error, cfg Config, ds, method string) string {
+	if errors.Is(err, ErrSkipped) {
+		cfg.logf("  %-5s skipped (budget)", method)
+		return "—"
+	}
+	cfg.logf("  %-5s FAILED on %s: %v", method, ds, err)
+	return "err"
+}
+
+func ids(methods []Method) []string {
+	out := make([]string, len(methods))
+	for i, m := range methods {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func specsOf(class dataset.Class) []dataset.Spec {
+	if class == dataset.Small {
+		return dataset.SmallSpecs()
+	}
+	return dataset.LargeSpecs()
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// tinyConfig keeps harness tests fast: aggressive scale, few queries.
+func tinyConfig() Config {
+	return Config{Scale: 4096, Queries: 200, Seed: 1}
+}
+
+func TestMethodRegistryOrder(t *testing.T) {
+	ms := Methods()
+	if len(ms) != len(MethodOrder) {
+		t.Fatalf("registry has %d methods, order list has %d", len(ms), len(MethodOrder))
+	}
+	for i, m := range ms {
+		if m.ID != MethodOrder[i] {
+			t.Errorf("method %d = %s, want %s", i, m.ID, MethodOrder[i])
+		}
+	}
+}
+
+func TestSelectMethods(t *testing.T) {
+	cfg := Config{Methods: []string{"DL", "HL"}}
+	ms := selectMethods(cfg)
+	if len(ms) != 2 || ms[0].ID != "HL" || ms[1].ID != "DL" {
+		t.Fatalf("selectMethods = %v", ids(ms))
+	}
+	if got := len(selectMethods(Config{})); got != len(MethodOrder) {
+		t.Fatalf("empty selection returned %d methods", got)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"agrocyc", "cit-Patents", "wiki", "uniprotenc_22m"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 output missing %s", name)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 28 {
+		t.Errorf("Table 1 has %d lines, want 28+", lines)
+	}
+}
+
+func TestQueryTableSmallSubset(t *testing.T) {
+	// Run two cheap methods over one synthetic dataset at tiny scale by
+	// slicing the catalog through the Methods filter; full runs are the
+	// job of cmd/reachbench, not unit tests.
+	cfg := tinyConfig()
+	cfg.Methods = []string{"GL", "DL"}
+	var buf bytes.Buffer
+	if err := QueryTable(&buf, "test-table", dataset.Large, workload.Equal, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GL") || !strings.Contains(out, "DL") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "citeseerx") {
+		t.Errorf("missing dataset row:\n%s", out)
+	}
+}
+
+func TestConstructionTableSubset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Methods = []string{"DL", "HL", "PT"}
+	var buf bytes.Buffer
+	if err := ConstructionTable(&buf, "test-constr", dataset.Large, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wiki") {
+		t.Errorf("missing dataset row:\n%s", buf.String())
+	}
+}
+
+func TestIndexSizeTableSubset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Methods = []string{"DL", "GL"}
+	var buf bytes.Buffer
+	if err := IndexSizeTable(&buf, "test-sizes", dataset.Large, cfg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 14 {
+		t.Fatalf("expected 13 dataset rows, got:\n%s", buf.String())
+	}
+}
+
+func TestBudgetsProduceDashes(t *testing.T) {
+	// With absurdly small budgets every closure-based method must be
+	// skipped, rendering "—".
+	cfg := tinyConfig()
+	cfg.Methods = []string{"PT", "INT", "PW8"}
+	cfg.MaxPTEntries = 1
+	cfg.MaxINTPairs = 1
+	cfg.MaxPW8Pairs = 1
+	var buf bytes.Buffer
+	if err := IndexSizeTable(&buf, "test-dash", dataset.Large, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "—") {
+		t.Fatalf("no dashes under tiny budgets:\n%s", buf.String())
+	}
+}
+
+func TestReportAlignment(t *testing.T) {
+	rep := &Report{
+		Title:   "t",
+		Columns: []string{"dataset", "A", "BB"},
+		Rows:    [][]string{{"x", "1.0", "2.0"}, {"longname", "10.0", "200.0"}},
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("report lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// RunGroup regenerates an entire table group in one pass — for Small:
+// Tables 2, 3, 4 and Figure 3; for Large: Tables 5, 6, 7 and Figure 4.
+// Each method's index is built exactly once per dataset and reused for
+// construction timing, both query workloads, and the size figure, which is
+// how the paper's own harness amortized its measurements.
+func RunGroup(w io.Writer, class dataset.Class, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	methods := selectMethods(cfg)
+
+	var titles [4]string
+	if class == dataset.Small {
+		titles = [4]string{
+			"Table 2: query time (ms), equal workload, small graphs",
+			"Table 3: query time (ms), random workload, small graphs",
+			"Table 4: construction time (ms), small graphs",
+			"Figure 3: index size (number of integers), small graphs",
+		}
+	} else {
+		titles = [4]string{
+			"Table 5: query time (ms), equal workload, large graphs",
+			"Table 6: query time (ms), random workload, large graphs",
+			"Table 7: construction time (ms), large graphs",
+			"Figure 4: index size (number of integers), large graphs",
+		}
+	}
+	reports := make([]*Report, 4)
+	for i := range reports {
+		reports[i] = &Report{Title: titles[i], Columns: append([]string{"dataset"}, ids(methods)...)}
+	}
+
+	for _, spec := range specsOf(class) {
+		cfg.logf("group(%s): dataset %s", class, spec.Name)
+		g := spec.Build(cfg.Scale)
+		est := estimatePairs(g, cfg.Seed)
+		cfg.logf("  built graph n=%d m=%d estPairs=%d", g.NumVertices(), g.NumEdges(), est)
+		wlEqual, err := workload.Generate(g, workload.Equal, cfg.Queries, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("equal workload for %s: %w", spec.Name, err)
+		}
+		wlRandom, err := workload.Generate(g, workload.Random, cfg.Queries, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("random workload for %s: %w", spec.Name, err)
+		}
+
+		rows := [4][]string{{spec.Name}, {spec.Name}, {spec.Name}, {spec.Name}}
+		for _, m := range methods {
+			idx, buildTime, err := buildOne(m, g, est, cfg)
+			if err != nil {
+				cell := cellForError(err, cfg, spec.Name, m.ID)
+				for i := range rows {
+					rows[i] = append(rows[i], cell)
+				}
+				continue
+			}
+			startEq := time.Now()
+			wlEqual.Run(idx)
+			eq := time.Since(startEq)
+			startRnd := time.Now()
+			wlRandom.Run(idx)
+			rnd := time.Since(startRnd)
+
+			rows[0] = append(rows[0], fmt.Sprintf("%.1f", ms(eq)))
+			rows[1] = append(rows[1], fmt.Sprintf("%.1f", ms(rnd)))
+			rows[2] = append(rows[2], fmt.Sprintf("%.1f", ms(buildTime)))
+			rows[3] = append(rows[3], fmt.Sprintf("%d", idx.SizeInts()))
+			cfg.logf("  %-5s build=%.1fms equal=%.1fms random=%.1fms size=%d",
+				m.ID, ms(buildTime), ms(eq), ms(rnd), idx.SizeInts())
+		}
+		for i := range reports {
+			reports[i].Rows = append(reports[i].Rows, rows[i])
+		}
+	}
+
+	for i, rep := range reports {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := rep.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// TestAllMethodsAgreeOnCatalogDatasets is the cross-method integration
+// net: on a mid-size build of one dataset per structural family, every
+// method that completes must return identical answers on both workloads.
+// This catches disagreements that per-package exhaustive tests (which use
+// smaller graphs) could miss, e.g. budget-boundary or renumbering bugs.
+func TestAllMethodsAgreeOnCatalogDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := Config{Scale: 1, Queries: 1500, Seed: 11}.WithDefaults()
+	for _, name := range []string{"kegg", "nasa", "citeseer", "wiki"} {
+		spec, ok := dataset.ByName(name)
+		if !ok {
+			t.Fatalf("missing dataset %s", name)
+		}
+		g := spec.BuildAt(2500)
+		est := estimatePairs(g, cfg.Seed)
+		wlE, err := workload.Generate(g, workload.Equal, cfg.Queries, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wlR, err := workload.Generate(g, workload.Random, cfg.Queries, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var built []index.Index
+		for _, m := range Methods() {
+			idx, _, err := buildOne(m, g, est, cfg)
+			if err == ErrSkipped {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m.ID, err)
+			}
+			built = append(built, idx)
+		}
+		if len(built) < 8 {
+			t.Fatalf("%s: only %d methods completed", name, len(built))
+		}
+		ref := built[0]
+		for _, wl := range []*workload.Workload{wlE, wlR} {
+			for q := 0; q < wl.Len(); q++ {
+				want := ref.Reachable(wl.U[q], wl.V[q])
+				for _, idx := range built[1:] {
+					if got := idx.Reachable(wl.U[q], wl.V[q]); got != want {
+						t.Fatalf("%s: %s and %s disagree on (%d,%d): %v vs %v",
+							name, ref.Name(), idx.Name(), wl.U[q], wl.V[q], want, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package bitset implements a dense fixed-size bitset used by transitive
+// closure computation, K-Reach cover reachability, and tests. It is a thin,
+// allocation-conscious wrapper over []uint64.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset able to hold values in [0, n).
+func New(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity n the set was created with.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether i is in the set.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset removes all elements, keeping capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Or sets b to b | other. Both sets must have the same capacity.
+func (b *Bitset) Or(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b to b & other. Both sets must have the same capacity.
+func (b *Bitset) And(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// Intersects reports whether b and other share any element without
+// materializing the intersection.
+func (b *Bitset) Intersects(other *Bitset) bool {
+	for i, w := range other.words {
+		if b.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls fn for every element in increasing order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi<<6 + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in increasing order.
+func (b *Bitset) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Slice32 returns the elements as uint32s in increasing order.
+func (b *Bitset) Slice32() []uint32 {
+	out := make([]uint32, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, uint32(i)) })
+	return out
+}
+
+// NextSet returns the smallest element >= i, or -1 if none exists.
+func (b *Bitset) NextSet(i int) int {
+	if i >= b.n {
+		return -1
+	}
+	wi := i >> 6
+	w := b.words[wi] >> (uint(i) & 63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Words exposes the underlying storage for bulk operations (read-only use).
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// CountAnd returns |a ∩ b| without materializing the intersection.
+func CountAnd(a, b *Bitset) int {
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
+}
+
+// OrAnd sets dst to dst | (a & b) in one pass. All three sets must share
+// the same capacity.
+func (dst *Bitset) OrAnd(a, b *Bitset) {
+	for i := range dst.words {
+		dst.words[i] |= a.words[i] & b.words[i]
+	}
+}
+
+// AndNot sets b to b &^ other (set difference).
+func (b *Bitset) AndNot(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}

@@ -1,0 +1,158 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Set(%d) not visible", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatal("Clear(64) failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left elements")
+	}
+}
+
+func TestOrAndIntersects(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	if !a.Intersects(b) {
+		t.Error("Intersects false, want true")
+	}
+	c := a.Clone()
+	c.Or(b)
+	if got := c.Slice(); !reflect.DeepEqual(got, []int{3, 70, 99}) {
+		t.Errorf("Or slice = %v", got)
+	}
+	d := a.Clone()
+	d.And(b)
+	if got := d.Slice(); !reflect.DeepEqual(got, []int{70}) {
+		t.Errorf("And slice = %v", got)
+	}
+	e := New(100)
+	e.Set(1)
+	if a.Intersects(e) {
+		t.Error("disjoint sets reported intersecting")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(200)
+	b.Set(5)
+	b.Set(64)
+	b.Set(199)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	empty := New(10)
+	if empty.NextSet(0) != -1 {
+		t.Error("NextSet on empty should be -1")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(300)
+	want := []int{0, 63, 64, 128, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	if got := b.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+	got32 := b.Slice32()
+	for i, v := range want {
+		if got32[i] != uint32(v) {
+			t.Errorf("Slice32[%d] = %d, want %d", i, got32[i], v)
+		}
+	}
+}
+
+// Property: Slice after random Sets matches a map-based model.
+func TestAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		b := New(n)
+		model := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Get(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for _, v := range b.Slice() {
+			if !model[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Or is commutative and its count is |a ∪ b|.
+func TestOrProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(256)
+		a, b := New(n), New(n)
+		union := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			x := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				a.Set(x)
+			} else {
+				b.Set(x)
+			}
+			union[x] = true
+		}
+		ab := a.Clone()
+		ab.Or(b)
+		ba := b.Clone()
+		ba.Or(a)
+		return ab.Count() == len(union) && reflect.DeepEqual(ab.Slice(), ba.Slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hoplabel"
+	"repro/internal/order"
+)
+
+// DLOptions configures Distribution-Labeling.
+type DLOptions struct {
+	// Order overrides the hop distribution order (highest importance
+	// first). Nil selects the paper's degree-product rank.
+	Order []graph.Vertex
+	// Strategy selects a built-in order when Order is nil. Empty means
+	// order.DegreeProduct.
+	Strategy order.Strategy
+	// Seed feeds the random order strategy (ablation only).
+	Seed int64
+}
+
+// DL is the Distribution-Labeling reachability oracle.
+type DL struct {
+	labeling *hoplabel.Labeling
+	// pos maps a vertex to its rank position; label entries are rank
+	// positions, which keeps per-vertex labels sorted for free during
+	// construction (hops arrive in increasing rank).
+	pos []int32
+}
+
+// BuildDL constructs the Distribution-Labeling oracle for DAG g
+// (Algorithm 2 of the paper).
+func BuildDL(g *graph.Graph, opts DLOptions) (*DL, error) {
+	if !graph.IsDAG(g) {
+		return nil, fmt.Errorf("core: DL requires a DAG; condense the input first")
+	}
+	ord := opts.Order
+	if ord == nil {
+		strategy := opts.Strategy
+		if strategy == "" {
+			strategy = order.DegreeProduct
+		}
+		ord = order.ByStrategy(g, strategy, opts.Seed)
+	}
+	if len(ord) != g.NumVertices() {
+		return nil, fmt.Errorf("core: order has %d entries for %d vertices", len(ord), g.NumVertices())
+	}
+	builder, pos := distribute(g, ord)
+	return &DL{labeling: builder.Freeze(), pos: pos}, nil
+}
+
+// distribute runs the hop-distribution loop and returns the label builder
+// (entries are rank positions) plus the vertex→rank mapping.
+func distribute(g *graph.Graph, ord []graph.Vertex) (*hoplabel.Builder, []int32) {
+	n := g.NumVertices()
+	builder := hoplabel.NewBuilder(n)
+	pos := order.PositionOf(ord)
+	vst := graph.NewVisitor(n)
+
+	for i, vi := range ord {
+		hop := uint32(i)
+		liIn := builder.In(uint32(vi))
+		// Reverse BFS: add hop to Lout(u) for u ∈ TC⁻¹(vi) \ TC⁻¹(X)
+		// (Theorem 2); prune u — and its ancestors — once the existing
+		// labels already connect u to vi.
+		vst.BFS(g, vi, graph.Backward, func(u graph.Vertex, _ int32) bool {
+			if u != vi && hoplabel.IntersectsSorted(builder.Out(uint32(u)), liIn) {
+				return false
+			}
+			builder.AddOut(uint32(u), hop)
+			return true
+		})
+		liOut := builder.Out(uint32(vi))
+		// Forward BFS: add hop to Lin(w) for w ∈ TC(vi) \ TC(Y).
+		vst.BFS(g, vi, graph.Forward, func(w graph.Vertex, _ int32) bool {
+			if w != vi && hoplabel.IntersectsSorted(builder.In(uint32(w)), liOut) {
+				return false
+			}
+			builder.AddIn(uint32(w), hop)
+			return true
+		})
+	}
+	return builder, pos
+}
+
+// Name implements the Index interface.
+func (d *DL) Name() string { return "DL" }
+
+// Reachable answers u -> v by label intersection.
+func (d *DL) Reachable(u, v uint32) bool { return d.labeling.Reachable(u, v) }
+
+// SizeInts returns Σ(|Lout|+|Lin|) in 32-bit integers.
+func (d *DL) SizeInts() int64 { return d.labeling.SizeInts() }
+
+// Labeling exposes the underlying labeling (hops are rank positions).
+func (d *DL) Labeling() *hoplabel.Labeling { return d.labeling }
+
+// RankOf returns the rank position of vertex v in the distribution order.
+func (d *DL) RankOf(v uint32) int32 { return d.pos[v] }

@@ -1,0 +1,274 @@
+// Package dataset catalogs synthetic substitutes for the 27 benchmark
+// graphs of the paper's Table 1. The original datasets (BioCyc pathway
+// DAGs, citeseer/cit-Patents citation dumps, uniprot encodings, web/wiki
+// crawls) are not redistributable, so each entry pairs the paper's
+// vertex/edge budget with the structural family that drives the compared
+// algorithms' behaviour:
+//
+//   - bio pathway graphs (agrocyc, ecoo, human, ...): sparse near-trees,
+//     m/n ≈ 1.05 — generated as random trees plus a few percent extra edges;
+//   - metabolic graphs (kegg, amaze, reactome): long chains with merges;
+//   - citation networks (arxiv, citeseerx, cit-Patents): layered DAGs with
+//     preferential attachment and m/n between 2 and 5;
+//   - XML/document data (nasa, xmark): shallow wide trees plus idrefs;
+//   - web/social crawls (web, wiki, email, lj): power-law degree DAGs;
+//   - uniprot encodings (uniprotenc_*, mapped_*): gigantic near-forests
+//     with m ≈ n - 2, trivial closures but scale-stress construction.
+//
+// Large graphs build at 1/scale of the paper's size (default scale 16) so
+// the full Table 5-7 sweep fits a laptop-class machine; the paper-scale
+// numbers stay in the Spec for reporting.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Class separates the paper's small-graph and large-graph table groups.
+type Class int
+
+const (
+	// Small graphs are built at full paper scale.
+	Small Class = iota
+	// Large graphs are scaled down by the harness scale divisor.
+	Large
+)
+
+func (c Class) String() string {
+	if c == Small {
+		return "small"
+	}
+	return "large"
+}
+
+// DefaultScale is the default divisor applied to large datasets.
+const DefaultScale = 16
+
+// Spec describes one dataset substitute.
+type Spec struct {
+	// Name matches the paper's Table 1 row.
+	Name string
+	// Class is Small (built at paper scale) or Large (scaled down).
+	Class Class
+	// PaperV, PaperE are the |V|, |E| of the coalesced DAG in Table 1.
+	PaperV, PaperE int64
+	// Family is a human-readable tag of the generator family used.
+	Family string
+	// build constructs the graph with n target vertices.
+	build func(n int, seed int64) *graph.Graph
+}
+
+// Build generates the substitute. Small specs ignore scale; large specs
+// build at PaperV/scale vertices (scale <= 0 selects DefaultScale).
+func (s Spec) Build(scale int) *graph.Graph {
+	n := int(s.PaperV)
+	if s.Class == Large {
+		if scale <= 0 {
+			scale = DefaultScale
+		}
+		n = int(s.PaperV / int64(scale))
+		if n < 64 {
+			n = 64
+		}
+	}
+	return s.build(n, seedFor(s.Name))
+}
+
+// BuildAt generates the substitute with an explicit vertex budget (used by
+// unit tests to keep graphs tiny).
+func (s Spec) BuildAt(n int) *graph.Graph {
+	if n < 8 {
+		n = 8
+	}
+	return s.build(n, seedFor(s.Name))
+}
+
+// seedFor derives a stable per-dataset seed (FNV-1a).
+func seedFor(name string) int64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}
+
+// ratio returns PaperE/PaperV as float for the generators.
+func (s Spec) ratio() float64 { return float64(s.PaperE) / float64(s.PaperV) }
+
+// treeSpec builds a bio-style near-tree with the spec's edge surplus.
+func treeSpec(name string, v, e int64) Spec {
+	s := Spec{Name: name, Class: Small, PaperV: v, PaperE: e, Family: "bio-tree"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		extra := s.ratio() - 1
+		if extra < 0 {
+			extra = 0
+		}
+		return gen.TreeDAG(n, extra, 0, seed)
+	}
+	return s
+}
+
+// chainSpec builds a metabolic-style chain graph.
+func chainSpec(name string, v, e int64, chains int, cross float64) Spec {
+	return Spec{Name: name, Class: Small, PaperV: v, PaperE: e, Family: "metabolic-chain",
+		build: func(n int, seed int64) *graph.Graph {
+			c := chains * n / int(v)
+			if c < 1 {
+				c = 1
+			}
+			return gen.ChainDAG(n, c, cross, seed)
+		}}
+}
+
+// xmlSpec builds an XML/document-style graph.
+func xmlSpec(name string, v, e int64, fanout int) Spec {
+	s := Spec{Name: name, Class: Small, PaperV: v, PaperE: e, Family: "xml"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		idref := s.ratio() - 1
+		if idref < 0 {
+			idref = 0
+		}
+		return gen.XMLDAG(n, fanout, idref, seed)
+	}
+	return s
+}
+
+// citationSpec builds a citation-network substitute.
+func citationSpec(name string, class Class, v, e int64, pref float64) Spec {
+	s := Spec{Name: name, Class: class, PaperV: v, PaperE: e, Family: "citation"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		return gen.CitationDAG(n, s.ratio(), pref, seed)
+	}
+	return s
+}
+
+// powerSpec builds a web/social power-law substitute.
+func powerSpec(name string, v, e int64, skew float64) Spec {
+	s := Spec{Name: name, Class: Large, PaperV: v, PaperE: e, Family: "power-law"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		m := int(float64(n) * s.ratio())
+		return gen.PowerLawDAG(n, m, skew, seed)
+	}
+	return s
+}
+
+// forestSpec builds a uniprot-style near-forest.
+func forestSpec(name string, class Class, v, e int64) Spec {
+	trees := int(v - e)
+	if trees < 1 {
+		trees = 1
+	}
+	s := Spec{Name: name, Class: class, PaperV: v, PaperE: e, Family: "forest"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		t := int(int64(trees) * int64(n) / v)
+		if t < 1 {
+			t = 1
+		}
+		return gen.ForestDAG(n, t, seed)
+	}
+	return s
+}
+
+// uniformSpec builds an unstructured sparse substitute.
+func uniformSpec(name string, v, e int64) Spec {
+	s := Spec{Name: name, Class: Small, PaperV: v, PaperE: e, Family: "uniform"}
+	s.build = func(n int, seed int64) *graph.Graph {
+		m := int(float64(n) * s.ratio())
+		return gen.UniformDAG(n, m, seed)
+	}
+	return s
+}
+
+// catalog is every Table 1 row in paper order.
+var catalog = []Spec{
+	// Small real graphs (Table 1, left column).
+	treeSpec("agrocyc", 12684, 13408),
+	chainSpec("amaze", 3710, 3600, 110, 0),
+	treeSpec("anthra", 12499, 13104),
+	citationSpec("arxiv", Small, 21608, 116805, 0.4),
+	treeSpec("ecoo", 12620, 13350),
+	treeSpec("hpycyc", 4771, 5859),
+	treeSpec("human", 38811, 39576),
+	chainSpec("kegg", 3617, 3908, 60, 0.08),
+	treeSpec("mtbrv", 9602, 10245),
+	xmlSpec("nasa", 5605, 7735, 4),
+	uniformSpec("p2p", 48438, 55349),
+	chainSpec("reactome", 901, 846, 55, 0),
+	treeSpec("vchocyc", 9491, 10143),
+	xmlSpec("xmark", 6080, 7028, 5),
+	// Large real graphs (Table 1, right column).
+	forestSpec("citeseer", Large, 693947, 312282),
+	citationSpec("citeseerx", Large, 6540399, 15011259, 0.3),
+	citationSpec("cit-Patents", Large, 3774768, 16518947, 0.4),
+	powerSpec("email", 231000, 223004, 1.6),
+	powerSpec("go_uniprot", 6967956, 34770235, 1.4),
+	powerSpec("lj", 971232, 1024140, 1.5),
+	func() Spec {
+		s := treeSpec("mapped_100K", 2658702, 2660628)
+		s.Class = Large
+		return s
+	}(),
+	func() Spec {
+		s := treeSpec("mapped_1M", 9387448, 9440404)
+		s.Class = Large
+		return s
+	}(),
+	forestSpec("uniprotenc_100m", Large, 16087295, 16087293),
+	forestSpec("uniprotenc_150m", Large, 25037600, 25037598),
+	forestSpec("uniprotenc_22m", Large, 1595444, 1595442),
+	powerSpec("web", 371764, 517805, 1.3),
+	powerSpec("wiki", 2281879, 2311570, 1.4),
+}
+
+// All returns every dataset spec in paper order.
+func All() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// SmallSpecs returns the small-graph group.
+func SmallSpecs() []Spec { return filter(Small) }
+
+// LargeSpecs returns the large-graph group.
+func LargeSpecs() []Spec { return filter(Large) }
+
+func filter(c Class) []Spec {
+	var out []Spec
+	for _, s := range catalog {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName looks up a spec by its Table 1 name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns all dataset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for _, s := range catalog {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a spec as a Table 1-style row.
+func (s Spec) String() string {
+	return fmt.Sprintf("%-16s %8s |V|=%d |E|=%d family=%s", s.Name, s.Class, s.PaperV, s.PaperE, s.Family)
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCatalogCoversTable1(t *testing.T) {
+	if got := len(All()); got != 27 {
+		t.Fatalf("catalog has %d entries, Table 1 has 27", got)
+	}
+	if got := len(SmallSpecs()); got != 14 {
+		t.Errorf("small group has %d entries, want 14", got)
+	}
+	if got := len(LargeSpecs()); got != 13 {
+		t.Errorf("large group has %d entries, want 13", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Errorf("duplicate dataset %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.PaperV <= 0 || s.PaperE < 0 {
+			t.Errorf("%s: bad paper sizes", s.Name)
+		}
+		if s.String() == "" {
+			t.Errorf("%s: empty String()", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("cit-Patents")
+	if !ok || s.PaperV != 3774768 {
+		t.Fatalf("cit-Patents lookup: %v %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus name found")
+	}
+	if len(Names()) != 27 {
+		t.Fatalf("Names() has %d entries", len(Names()))
+	}
+}
+
+// TestSmallSpecsMatchPaperSizes builds every small dataset at full scale
+// and checks the realized |V| and that |E| is within 25% of Table 1.
+func TestSmallSpecsMatchPaperSizes(t *testing.T) {
+	for _, s := range SmallSpecs() {
+		g := s.Build(0)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !graph.IsDAG(g) {
+			t.Fatalf("%s: not a DAG", s.Name)
+		}
+		if g.NumVertices() != int(s.PaperV) {
+			t.Errorf("%s: |V| = %d, want %d", s.Name, g.NumVertices(), s.PaperV)
+		}
+		lo := float64(s.PaperE) * 0.75
+		hi := float64(s.PaperE) * 1.25
+		if m := float64(g.NumEdges()); m < lo || m > hi {
+			t.Errorf("%s: |E| = %d, want within 25%% of %d", s.Name, g.NumEdges(), s.PaperE)
+		}
+	}
+}
+
+// TestLargeSpecsScaled builds every large dataset at an aggressive scale
+// divisor and checks structure plus edge-density fidelity.
+func TestLargeSpecsScaled(t *testing.T) {
+	for _, s := range LargeSpecs() {
+		g := s.BuildAt(3000)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !graph.IsDAG(g) {
+			t.Fatalf("%s: not a DAG", s.Name)
+		}
+		wantDensity := float64(s.PaperE) / float64(s.PaperV)
+		gotDensity := float64(g.NumEdges()) / float64(g.NumVertices())
+		if gotDensity < wantDensity*0.6-0.05 || gotDensity > wantDensity*1.4+0.05 {
+			t.Errorf("%s: density %.3f, paper %.3f", s.Name, gotDensity, wantDensity)
+		}
+	}
+}
+
+func TestBuildScalesLargeOnly(t *testing.T) {
+	small, _ := ByName("kegg")
+	if small.Build(4).NumVertices() != int(small.PaperV) {
+		t.Error("scale must not shrink small datasets")
+	}
+	large, _ := ByName("wiki")
+	g := large.Build(64)
+	want := int(large.PaperV) / 64
+	if g.NumVertices() != want {
+		t.Errorf("wiki at scale 64: |V| = %d, want %d", g.NumVertices(), want)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, _ := ByName("arxiv")
+	a, b := s.BuildAt(500), s.BuildAt(500)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same spec produced different graphs")
+	}
+}

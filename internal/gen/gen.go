@@ -1,0 +1,310 @@
+// Package gen produces synthetic directed acyclic graphs from several
+// structural families. The reachability literature's benchmark datasets
+// (Table 1 of Jin & Wang, VLDB 2013) are not redistributable, so
+// internal/dataset maps each of them to one of these generators with a
+// matching vertex/edge budget; the families below control exactly the
+// properties the compared algorithms are sensitive to (density, depth,
+// degree skew, transitive-closure size).
+//
+// All generators are deterministic given a seed and always return a DAG
+// whose vertex IDs are NOT aligned with a topological order (a hidden random
+// permutation decides edge orientation), so indexes cannot accidentally
+// exploit ID ordering.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// permOrient returns an orientation function over a hidden random
+// permutation: edges always go from lower to higher permutation rank,
+// guaranteeing acyclicity without correlating vertex IDs with depth.
+func permOrient(rng *rand.Rand, n int) func(u, v graph.Vertex) (graph.Vertex, graph.Vertex) {
+	pos := rng.Perm(n)
+	return func(u, v graph.Vertex) (graph.Vertex, graph.Vertex) {
+		if pos[u] > pos[v] {
+			return v, u
+		}
+		return u, v
+	}
+}
+
+// UniformDAG returns a DAG with n vertices and about m uniformly random
+// edges (duplicates are coalesced, so the realized count can be slightly
+// lower). Models unstructured sparse graphs such as p2p.
+func UniformDAG(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	orient := permOrient(rng, n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		u, v = orient(u, v)
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// TreeDAG returns a random rooted tree (every vertex except the root has
+// exactly one parent chosen among earlier vertices) plus extra*n additional
+// forward edges. extra = 0.05 reproduces the sparse metabolic/bio DAGs
+// (agrocyc, ecoo, human, ...) whose edge counts are just above their vertex
+// counts. A locality parameter concentrates parents among recent vertices,
+// producing the deep, narrow shape of those datasets.
+func TreeDAG(n int, extra float64, locality int, seed int64) *graph.Graph {
+	if n == 0 {
+		return graph.NewBuilder(0).MustBuild()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n) // perm[i] = vertex label of the i-th generated node
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		lo := 0
+		if locality > 0 && i > locality {
+			lo = i - locality
+		}
+		p := lo + rng.Intn(i-lo)
+		b.AddEdge(graph.Vertex(perm[p]), graph.Vertex(perm[i]))
+	}
+	nExtra := int(extra * float64(n))
+	for e := 0; e < nExtra; e++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		b.AddEdge(graph.Vertex(perm[i]), graph.Vertex(perm[j]))
+	}
+	return b.MustBuild()
+}
+
+// CitationDAG models citation networks (arxiv, citeseer, cit-Patents):
+// vertices arrive over time and cite earlier vertices, mixing recency bias
+// with preferential attachment. avgRefs is the mean out-degree; pref in
+// [0,1] is the fraction of citations chosen preferentially by in-degree.
+func CitationDAG(n int, avgRefs float64, pref float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	// endpoints receives one entry per citation target, so sampling from it
+	// is sampling proportional to (in-degree + implicit smoothing).
+	endpoints := make([]int, 0, int(avgRefs*float64(n)))
+	for i := 1; i < n; i++ {
+		refs := poisson(rng, avgRefs)
+		if refs < 1 {
+			refs = 1
+		}
+		for r := 0; r < refs; r++ {
+			var tgt int
+			if len(endpoints) > 0 && rng.Float64() < pref {
+				tgt = endpoints[rng.Intn(len(endpoints))]
+			} else {
+				// Recency bias: quadratic skew toward recent vertices.
+				f := rng.Float64()
+				tgt = int(float64(i) * (1 - f*f))
+				if tgt >= i {
+					tgt = i - 1
+				}
+			}
+			// The citing vertex is newer: edge newer -> older.
+			b.AddEdge(graph.Vertex(perm[i]), graph.Vertex(perm[tgt]))
+			endpoints = append(endpoints, tgt)
+		}
+	}
+	return b.MustBuild()
+}
+
+// PowerLawDAG returns a DAG with n vertices, about m edges, and Zipf-skewed
+// degree distribution with exponent s (heavier skew for smaller s close to
+// 1). Models web/wiki/social graphs after SCC condensation.
+func PowerLawDAG(n, m int, s float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1.0 {
+		s = 1.01
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+	orient := permOrient(rng, n)
+	// Random relabeling so the hubs are not the same vertices as the Zipf
+	// ranks (which would correlate with nothing, but mirrors real data).
+	relabel := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.Vertex(relabel[int(zipf.Uint64())])
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		u, v = orient(u, v)
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// ForestDAG returns a forest of numTrees random trees covering n vertices
+// (m = n - numTrees). Models the uniprotenc family, whose edge counts are
+// exactly |V| - 2: gigantic near-forests that are trivial for interval
+// indexes but stress construction scalability.
+func ForestDAG(n, numTrees int, seed int64) *graph.Graph {
+	if numTrees < 1 {
+		numTrees = 1
+	}
+	if numTrees > n {
+		numTrees = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := numTrees; i < n; i++ {
+		// Parent uniform among earlier generated vertices, skewed toward
+		// recent ones half the time to vary tree shapes.
+		var p int
+		if rng.Intn(2) == 0 && i > 16 {
+			p = i - 1 - rng.Intn(16)
+		} else {
+			p = rng.Intn(i)
+		}
+		b.AddEdge(graph.Vertex(perm[p]), graph.Vertex(perm[i]))
+	}
+	return b.MustBuild()
+}
+
+// XMLDAG models XML/document datasets (xmark, nasa): a wide shallow tree
+// (fanout between 2 and maxFanout) plus idrefFrac*n cross-reference edges.
+func XMLDAG(n int, maxFanout int, idrefFrac float64, seed int64) *graph.Graph {
+	if maxFanout < 2 {
+		maxFanout = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	next := 1
+	for parent := 0; parent < n && next < n; parent++ {
+		fanout := 2 + rng.Intn(maxFanout-1)
+		for c := 0; c < fanout && next < n; c++ {
+			b.AddEdge(graph.Vertex(perm[parent]), graph.Vertex(perm[next]))
+			next++
+		}
+	}
+	nRef := int(idrefFrac * float64(n))
+	for e := 0; e < nRef; e++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		b.AddEdge(graph.Vertex(perm[i]), graph.Vertex(perm[j]))
+	}
+	return b.MustBuild()
+}
+
+// ChainDAG models metabolic-pathway graphs (kegg, amaze): many long chains
+// (pathways) with occasional branch and merge edges, giving diameter much
+// larger than random graphs of the same size.
+func ChainDAG(n, numChains int, crossFrac float64, seed int64) *graph.Graph {
+	if numChains < 1 {
+		numChains = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	chainOf := make([]int, n)
+	posInChain := make([]int, n)
+	chainLen := n / numChains
+	if chainLen < 2 {
+		chainLen = 2
+	}
+	for i := 0; i < n; i++ {
+		chainOf[i] = i / chainLen
+		posInChain[i] = i % chainLen
+		if posInChain[i] > 0 {
+			b.AddEdge(graph.Vertex(perm[i-1]), graph.Vertex(perm[i]))
+		}
+	}
+	// Cross edges: connect a vertex to a vertex in another chain at a
+	// strictly larger in-chain position, oriented by generation index so the
+	// result stays acyclic.
+	nCross := int(crossFrac * float64(n))
+	for e := 0; e < nCross; e++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j || chainOf[i] == chainOf[j] {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		b.AddEdge(graph.Vertex(perm[i]), graph.Vertex(perm[j]))
+	}
+	return b.MustBuild()
+}
+
+// LayeredDAG returns a DAG organized in layers (like circuit or workflow
+// graphs): n vertices split into layers, edges only between consecutive
+// layers. Used by tests that need controllable depth.
+func LayeredDAG(n, layers, avgOut int, seed int64) *graph.Graph {
+	if layers < 1 {
+		layers = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	per := n / layers
+	if per < 1 {
+		per = 1
+	}
+	layerOf := func(i int) int {
+		l := i / per
+		if l >= layers {
+			l = layers - 1
+		}
+		return l
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		l := layerOf(i)
+		if l+1 >= layers {
+			continue
+		}
+		lo := (l + 1) * per
+		hi := (l + 2) * per
+		if hi > n {
+			hi = n
+		}
+		if lo >= n {
+			continue
+		}
+		for e := 0; e < avgOut; e++ {
+			j := lo + rng.Intn(hi-lo)
+			b.AddEdge(graph.Vertex(perm[i]), graph.Vertex(perm[j]))
+		}
+	}
+	return b.MustBuild()
+}
+
+// poisson samples a Poisson variate with mean lambda (Knuth's method; fine
+// for the small lambdas used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	L := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		k++
+		p *= rng.Float64()
+		if p <= L {
+			return k - 1
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// checkDAG asserts g is a valid acyclic graph with roughly the requested
+// size.
+func checkDAG(t *testing.T, g *graph.Graph, wantN int, minM, maxM int) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !graph.IsDAG(g) {
+		t.Fatal("generator produced a cycle")
+	}
+	if g.NumVertices() != wantN {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), wantN)
+	}
+	if g.NumEdges() < minM || g.NumEdges() > maxM {
+		t.Fatalf("m = %d, want in [%d, %d]", g.NumEdges(), minM, maxM)
+	}
+}
+
+func TestUniformDAG(t *testing.T) {
+	g := UniformDAG(500, 1500, 1)
+	checkDAG(t, g, 500, 1200, 1500)
+}
+
+func TestUniformDAGDeterministic(t *testing.T) {
+	a := UniformDAG(300, 900, 42)
+	b := UniformDAG(300, 900, 42)
+	ae, be := a.EdgeList(), b.EdgeList()
+	if len(ae) != len(be) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := UniformDAG(300, 900, 43)
+	if len(c.EdgeList()) == len(ae) {
+		same := true
+		ce := c.EdgeList()
+		for i := range ae {
+			if ae[i] != ce[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestTreeDAG(t *testing.T) {
+	g := TreeDAG(1000, 0.05, 0, 2)
+	checkDAG(t, g, 1000, 999, 1049)
+	// A tree with few extras must have exactly one root-ish component: the
+	// underlying tree guarantees every non-root vertex has an ancestor path.
+	if roots := g.Roots(); len(roots) != 1 {
+		t.Errorf("TreeDAG has %d roots, want 1", len(roots))
+	}
+}
+
+func TestTreeDAGLocalityDeepens(t *testing.T) {
+	shallow := graph.ComputeStats(TreeDAG(2000, 0, 0, 3))
+	deep := graph.ComputeStats(TreeDAG(2000, 0, 8, 3))
+	if deep.Depth <= shallow.Depth {
+		t.Errorf("locality did not deepen the tree: shallow=%d deep=%d", shallow.Depth, deep.Depth)
+	}
+}
+
+func TestCitationDAG(t *testing.T) {
+	g := CitationDAG(2000, 4.0, 0.5, 4)
+	checkDAG(t, g, 2000, 2000, 12000)
+	s := graph.ComputeStats(g)
+	if s.AvgDegree < 2.0 {
+		t.Errorf("citation graph too sparse: %v", s)
+	}
+}
+
+func TestPowerLawDAGSkew(t *testing.T) {
+	g := PowerLawDAG(3000, 9000, 1.3, 5)
+	checkDAG(t, g, 3000, 4000, 9000)
+	s := graph.ComputeStats(g)
+	// Power-law graphs have hub vertices with degree far above average.
+	if float64(s.MaxOutDegree) < 8*s.AvgDegree {
+		t.Errorf("no hubs: maxOut=%d avg=%.2f", s.MaxOutDegree, s.AvgDegree)
+	}
+}
+
+func TestForestDAG(t *testing.T) {
+	g := ForestDAG(5000, 3, 6)
+	checkDAG(t, g, 5000, 4997, 4997)
+	if roots := g.Roots(); len(roots) != 3 {
+		t.Errorf("forest has %d roots, want 3", len(roots))
+	}
+	// Every non-root vertex has exactly one parent.
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(graph.Vertex(v)); d > 1 {
+			t.Fatalf("vertex %d has in-degree %d in a forest", v, d)
+		}
+	}
+}
+
+func TestXMLDAG(t *testing.T) {
+	g := XMLDAG(3000, 6, 0.15, 7)
+	checkDAG(t, g, 3000, 2999, 3449)
+}
+
+func TestChainDAGDeep(t *testing.T) {
+	g := ChainDAG(2000, 10, 0.1, 8)
+	checkDAG(t, g, 2000, 1900, 2190)
+	s := graph.ComputeStats(g)
+	if s.Depth < 150 {
+		t.Errorf("chain graph not deep: depth=%d", s.Depth)
+	}
+}
+
+func TestLayeredDAG(t *testing.T) {
+	g := LayeredDAG(1000, 10, 3, 9)
+	checkDAG(t, g, 1000, 500, 2700)
+	s := graph.ComputeStats(g)
+	if s.Depth >= 10 {
+		t.Errorf("layered depth %d, want < layers", s.Depth)
+	}
+}
+
+func TestGeneratorsSmallSizes(t *testing.T) {
+	// Degenerate sizes must not panic or cycle.
+	gens := []*graph.Graph{
+		UniformDAG(1, 5, 1), UniformDAG(2, 3, 1),
+		TreeDAG(0, 0.1, 0, 1), TreeDAG(1, 0.1, 0, 1), TreeDAG(2, 1.0, 1, 1),
+		CitationDAG(2, 3, 0.9, 1), PowerLawDAG(3, 5, 1.5, 1),
+		ForestDAG(1, 1, 1), ForestDAG(4, 9, 1),
+		XMLDAG(2, 2, 0.5, 1), ChainDAG(3, 5, 0.5, 1), LayeredDAG(5, 20, 2, 1),
+	}
+	for i, g := range gens {
+		if err := g.Validate(); err != nil {
+			t.Errorf("generator %d: %v", i, err)
+		}
+		if !graph.IsDAG(g) {
+			t.Errorf("generator %d produced a cycle", i)
+		}
+	}
+}
+
+// Property: every family is acyclic for arbitrary seeds.
+func TestAllFamiliesAcyclicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		return graph.IsDAG(UniformDAG(60, 150, seed)) &&
+			graph.IsDAG(TreeDAG(60, 0.2, 4, seed)) &&
+			graph.IsDAG(CitationDAG(60, 3, 0.5, seed)) &&
+			graph.IsDAG(PowerLawDAG(60, 150, 1.4, seed)) &&
+			graph.IsDAG(ForestDAG(60, 2, seed)) &&
+			graph.IsDAG(XMLDAG(60, 4, 0.2, seed)) &&
+			graph.IsDAG(ChainDAG(60, 4, 0.2, seed)) &&
+			graph.IsDAG(LayeredDAG(60, 5, 2, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

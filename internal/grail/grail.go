@@ -1,0 +1,195 @@
+// Package grail implements GRAIL (Yildirim, Chaoji & Zaki, PVLDB 2010),
+// the scalable online-search baseline of the paper's evaluation: each
+// vertex carries k interval labels from k randomized post-order DFS
+// traversals. Interval non-containment in any labeling proves
+// non-reachability; otherwise a pruned online DFS decides. Construction is
+// light (k passes) and the index is small (2k integers per vertex), but
+// positive queries can cost a graph traversal — the one-to-two orders of
+// magnitude query gap the paper reports.
+package grail
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DefaultTraversals is the paper's setting: 5 random interval labelings.
+const DefaultTraversals = 5
+
+// Options configures GRAIL construction.
+type Options struct {
+	// Traversals is k, the number of random DFS labelings (default 5).
+	Traversals int
+	// Seed drives the randomized traversal orders.
+	Seed int64
+}
+
+// Grail is the GRAIL reachability index.
+type Grail struct {
+	g *graph.Graph
+	k int
+	// lo[i][v], hi[i][v]: interval of v in labeling i; u→v implies
+	// lo[i][u] <= lo[i][v] && hi[i][v] <= hi[i][u] for every i.
+	lo, hi [][]uint32
+	// level is the longest-path topological level, used as an extra
+	// negative filter: u→v implies level[u] < level[v].
+	level []int32
+	vst   *graph.Visitor
+	stack []graph.Vertex
+}
+
+// Build constructs the GRAIL index for DAG g.
+func Build(g *graph.Graph, opts Options) *Grail {
+	k := opts.Traversals
+	if k <= 0 {
+		k = DefaultTraversals
+	}
+	n := g.NumVertices()
+	gr := &Grail{
+		g: g, k: k,
+		lo: make([][]uint32, k), hi: make([][]uint32, k),
+		vst:   graph.NewVisitor(n),
+		stack: make([]graph.Vertex, 0, 64),
+	}
+	gr.level, _ = graph.TopoLevels(g)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < k; i++ {
+		gr.lo[i], gr.hi[i] = randomIntervalLabeling(g, rng)
+	}
+	return gr
+}
+
+// randomIntervalLabeling runs one randomized post-order DFS and returns
+// per-vertex intervals [lo, hi]: hi is the post-order rank, lo the minimum
+// rank over all (not just tree) descendants.
+func randomIntervalLabeling(g *graph.Graph, rng *rand.Rand) (lo, hi []uint32) {
+	n := g.NumVertices()
+	lo = make([]uint32, n)
+	hi = make([]uint32, n)
+	visited := make([]bool, n)
+	next := uint32(1) // post-order counter; 0 stays "unranked"
+
+	roots := g.Roots()
+	rng.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+
+	// Iterative randomized DFS assigning post-order ranks.
+	type frame struct {
+		v    graph.Vertex
+		kids []graph.Vertex
+		next int
+	}
+	var stack []frame
+	shuffledOut := func(v graph.Vertex) []graph.Vertex {
+		out := g.Out(v)
+		kids := make([]graph.Vertex, len(out))
+		for i, w := range out {
+			kids[i] = w
+		}
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		return kids
+	}
+	dfs := func(start graph.Vertex) {
+		if visited[start] {
+			return
+		}
+		visited[start] = true
+		stack = append(stack[:0], frame{v: start, kids: shuffledOut(start)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.kids) {
+				w := f.kids[f.next]
+				f.next++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w, kids: shuffledOut(w)})
+				}
+				continue
+			}
+			hi[f.v] = next
+			next++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, r := range roots {
+		dfs(r)
+	}
+	// Vertices unreachable from any root exist only in cyclic graphs; DAG
+	// roots cover everything, but guard anyway.
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			dfs(graph.Vertex(v))
+		}
+	}
+
+	// lo[v] = min(hi[v], min over all children lo[c]), in reverse
+	// topological order so children are final first.
+	order, _ := graph.TopoOrder(g)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		m := hi[v]
+		for _, w := range g.Out(v) {
+			if lo[w] < m {
+				m = lo[w]
+			}
+		}
+		lo[v] = m
+	}
+	return lo, hi
+}
+
+// contains reports whether u's intervals subsume v's in every labeling —
+// the necessary condition for u→v.
+func (gr *Grail) contains(u, v uint32) bool {
+	for i := 0; i < gr.k; i++ {
+		if gr.lo[i][u] > gr.lo[i][v] || gr.hi[i][v] > gr.hi[i][u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements index.Index.
+func (gr *Grail) Name() string { return "GRAIL" }
+
+// Reachable answers u -> v with interval pruning plus online DFS.
+func (gr *Grail) Reachable(u, v uint32) bool {
+	if u == v {
+		return true
+	}
+	if gr.level[u] >= gr.level[v] {
+		return false
+	}
+	if !gr.contains(u, v) {
+		return false
+	}
+	// Pruned DFS: only descend into children whose intervals still contain
+	// v's (and which pass the level filter).
+	gr.vst.Reset()
+	gr.vst.Visit(graph.Vertex(u))
+	gr.stack = append(gr.stack[:0], graph.Vertex(u))
+	for len(gr.stack) > 0 {
+		x := gr.stack[len(gr.stack)-1]
+		gr.stack = gr.stack[:len(gr.stack)-1]
+		for _, w := range gr.g.Out(x) {
+			if uint32(w) == v {
+				return true
+			}
+			if !gr.vst.Visit(w) {
+				continue
+			}
+			if gr.level[w] >= gr.level[v] {
+				continue
+			}
+			if gr.contains(uint32(w), v) {
+				gr.stack = append(gr.stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// SizeInts reports 2k interval integers plus one level integer per vertex.
+func (gr *Grail) SizeInts() int64 {
+	return int64(gr.g.NumVertices()) * int64(2*gr.k+1)
+}

@@ -1,0 +1,46 @@
+package grail
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/testutil"
+)
+
+func TestGrailExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(7) {
+		gr := Build(g, Options{Seed: 42})
+		testutil.CheckExhaustive(t, name, g, gr)
+	}
+}
+
+func TestGrailTraversalCounts(t *testing.T) {
+	g := gen.CitationDAG(300, 3, 0.5, 5)
+	for _, k := range []int{1, 2, 5, 8} {
+		gr := Build(g, Options{Traversals: k, Seed: 1})
+		testutil.CheckRandom(t, "citation", g, gr, 400, 9)
+		want := int64(g.NumVertices()) * int64(2*k+1)
+		if gr.SizeInts() != want {
+			t.Errorf("k=%d: SizeInts = %d, want %d", k, gr.SizeInts(), want)
+		}
+	}
+}
+
+func TestGrailIntervalInvariant(t *testing.T) {
+	// u→v implies containment in every labeling; verify on edges (the
+	// base case that extends transitively).
+	g := gen.UniformDAG(200, 600, 11)
+	gr := Build(g, Options{Seed: 3})
+	g.Edges(func(u, v uint32) bool {
+		if !gr.contains(u, v) {
+			t.Errorf("edge (%d,%d): intervals do not contain", u, v)
+		}
+		return true
+	})
+}
+
+func TestGrailLargerScaleRandom(t *testing.T) {
+	g := gen.TreeDAG(5000, 0.1, 0, 8)
+	gr := Build(g, Options{Seed: 4})
+	testutil.CheckRandom(t, "tree5k", g, gr, 800, 6)
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// are coalesced and self-loops are rejected at Build time (the reachability
+// algorithms in this repository operate on DAGs; self-loops would be
+// SCC-condensed away anyway and keeping them out simplifies invariants).
+type Builder struct {
+	n     int
+	edges [][2]Vertex
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the directed edge (u, v). Vertices must be < n.
+func (b *Builder) AddEdge(u, v Vertex) {
+	b.edges = append(b.edges, [2]Vertex{u, v})
+}
+
+// Grow raises the vertex count to at least n.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumVertices returns the current vertex count.
+func (b *Builder) NumVertices() int { return b.n }
+
+// NumEdges returns the number of edges recorded so far (before dedup).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph. It sorts and deduplicates edges;
+// it returns an error for out-of-range endpoints or self-loops.
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		if int(e[0]) >= b.n || int(e[1]) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e[0], e[1], b.n)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e[0])
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate in place.
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	b.edges = dedup
+
+	g := &Graph{n: b.n}
+	m := len(b.edges)
+	g.outOff = make([]uint32, b.n+1)
+	g.outAdj = make([]uint32, m)
+	g.inOff = make([]uint32, b.n+1)
+	g.inAdj = make([]uint32, m)
+
+	for _, e := range b.edges {
+		g.outOff[e[0]+1]++
+		g.inOff[e[1]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	// Fill forward adjacency: edges are already sorted by (from, to), so a
+	// single pass writes each out-list in sorted order.
+	cursor := make([]uint32, b.n)
+	copy(cursor, g.outOff[:b.n])
+	for _, e := range b.edges {
+		g.outAdj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+	}
+	// Fill reverse adjacency. Iterating edges in (from, to) order writes each
+	// in-list in increasing source order, which keeps in-lists sorted too.
+	copy(cursor, g.inOff[:b.n])
+	for _, e := range b.edges {
+		g.inAdj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for tests and generators whose
+// inputs are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list over n vertices.
+func FromEdges(n int, edges [][2]Vertex) (*Graph, error) {
+	b := NewBuilder(n)
+	b.edges = append(b.edges, edges...)
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges but panics on error.
+func MustFromEdges(n int, edges [][2]Vertex) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Subgraph returns the induced subgraph on keep (which must contain no
+// duplicates), along with the mapping from new vertex IDs to original IDs.
+// New IDs follow the order of keep.
+func Subgraph(g *Graph, keep []Vertex) (*Graph, []Vertex) {
+	idx := make(map[Vertex]Vertex, len(keep))
+	for i, v := range keep {
+		idx[v] = Vertex(i)
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, w := range g.Out(v) {
+			if j, ok := idx[w]; ok {
+				b.AddEdge(Vertex(i), j)
+			}
+		}
+	}
+	sub := b.MustBuild()
+	orig := make([]Vertex, len(keep))
+	copy(orig, keep)
+	return sub, orig
+}

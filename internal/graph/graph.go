@@ -1,0 +1,190 @@
+// Package graph provides the directed-graph substrate used by every
+// reachability index in this repository: a compact CSR (compressed sparse
+// row) representation with both forward and reverse adjacency, strongly
+// connected component condensation, topological ordering, and traversal
+// primitives.
+//
+// Vertices are dense uint32 identifiers in [0, N). The representation is
+// immutable after construction; all indexes share one *Graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies a node of a Graph. Vertices are dense integers in
+// [0, Graph.NumVertices()).
+type Vertex = uint32
+
+// Graph is an immutable directed graph in CSR form. Both the forward
+// (out-edge) and reverse (in-edge) adjacency are materialized because
+// reachability labeling algorithms traverse in both directions.
+//
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	n int
+
+	// outOff has length n+1; out-neighbors of u are outAdj[outOff[u]:outOff[u+1]].
+	outOff []uint32
+	outAdj []uint32
+
+	// inOff/inAdj mirror outOff/outAdj for incoming edges.
+	inOff []uint32
+	inAdj []uint32
+}
+
+// NumVertices returns the number of vertices N; valid vertices are [0, N).
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.outAdj) }
+
+// Out returns the out-neighbors of u. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Out(u Vertex) []uint32 { return g.outAdj[g.outOff[u]:g.outOff[u+1]] }
+
+// In returns the in-neighbors of u. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) In(u Vertex) []uint32 { return g.inAdj[g.inOff[u]:g.inOff[u+1]] }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u Vertex) int { return int(g.outOff[u+1] - g.outOff[u]) }
+
+// InDegree returns the number of in-edges of u.
+func (g *Graph) InDegree(u Vertex) int { return int(g.inOff[u+1] - g.inOff[u]) }
+
+// HasEdge reports whether the edge (u, v) exists. Adjacency lists are sorted,
+// so this is a binary search over Out(u) (or In(v), whichever is shorter).
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	if g.OutDegree(u) <= g.InDegree(v) {
+		adj := g.Out(u)
+		i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+		return i < len(adj) && adj[i] == v
+	}
+	adj := g.In(v)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= u })
+	return i < len(adj) && adj[i] == u
+}
+
+// Edges calls fn for every edge (u, v) in vertex order. It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v Vertex) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(Vertex(u)) {
+			if !fn(Vertex(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as a flat slice of (from, to) pairs. Intended
+// for tests and serialization, not hot paths.
+func (g *Graph) EdgeList() [][2]Vertex {
+	edges := make([][2]Vertex, 0, g.NumEdges())
+	g.Edges(func(u, v Vertex) bool {
+		edges = append(edges, [2]Vertex{u, v})
+		return true
+	})
+	return edges
+}
+
+// Roots returns all vertices with in-degree zero.
+func (g *Graph) Roots() []Vertex {
+	var roots []Vertex
+	for u := 0; u < g.n; u++ {
+		if g.InDegree(Vertex(u)) == 0 {
+			roots = append(roots, Vertex(u))
+		}
+	}
+	return roots
+}
+
+// Sinks returns all vertices with out-degree zero.
+func (g *Graph) Sinks() []Vertex {
+	var sinks []Vertex
+	for u := 0; u < g.n; u++ {
+		if g.OutDegree(Vertex(u)) == 0 {
+			sinks = append(sinks, Vertex(u))
+		}
+	}
+	return sinks
+}
+
+// Reverse returns a new graph with every edge direction flipped. The reverse
+// shares no storage semantics with g (it is rebuilt), but because Graph
+// already stores both directions this is a cheap slice swap plus copy.
+func (g *Graph) Reverse() *Graph {
+	return &Graph{
+		n:      g.n,
+		outOff: g.inOff, outAdj: g.inAdj,
+		inOff: g.outOff, inAdj: g.outAdj,
+	}
+}
+
+// String returns a short human-readable summary, e.g. "graph(n=10, m=14)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.n, g.NumEdges())
+}
+
+// Validate checks internal invariants: offset monotonicity, neighbor range,
+// sortedness, and forward/reverse consistency. It is used by tests and by
+// deserialization; it costs O(n + m).
+func (g *Graph) Validate() error {
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays have wrong length (n=%d, |outOff|=%d, |inOff|=%d)",
+			g.n, len(g.outOff), len(g.inOff))
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if int(g.outOff[g.n]) != len(g.outAdj) || int(g.inOff[g.n]) != len(g.inAdj) {
+		return fmt.Errorf("graph: final offsets do not match adjacency lengths")
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: forward edge count %d != reverse edge count %d", len(g.outAdj), len(g.inAdj))
+	}
+	for u := 0; u < g.n; u++ {
+		if g.outOff[u] > g.outOff[u+1] || g.inOff[u] > g.inOff[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", u)
+		}
+		out := g.Out(Vertex(u))
+		for i, v := range out {
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: out-neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && out[i-1] >= v {
+				return fmt.Errorf("graph: out-adjacency of %d not strictly sorted", u)
+			}
+		}
+		in := g.In(Vertex(u))
+		for i, v := range in {
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: in-neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && in[i-1] >= v {
+				return fmt.Errorf("graph: in-adjacency of %d not strictly sorted", u)
+			}
+		}
+	}
+	// Forward/reverse consistency: count of (u,v) in out must equal in.
+	seen := make(map[uint64]int, len(g.outAdj))
+	g.Edges(func(u, v Vertex) bool {
+		seen[uint64(u)<<32|uint64(v)]++
+		return true
+	})
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.In(Vertex(v)) {
+			key := uint64(u)<<32 | uint64(v)
+			seen[key]--
+			if seen[key] == 0 {
+				delete(seen, key)
+			}
+		}
+	}
+	if len(seen) != 0 {
+		return fmt.Errorf("graph: forward and reverse adjacency disagree on %d edges", len(seen))
+	}
+	return nil
+}

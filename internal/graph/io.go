@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the whitespace-separated edge-list format used by the
+// reachability literature's dataset dumps:
+//
+//	# comment lines start with '#' or '%'
+//	<from> <to>
+//
+// Vertex IDs may be arbitrary non-negative integers; they are densified in
+// first-appearance order. Returns the graph and the original IDs indexed by
+// dense vertex.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]Vertex)
+	var orig []int64
+	intern := func(raw int64) Vertex {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := Vertex(len(orig))
+		ids[raw] = v
+		orig = append(orig, raw)
+		return v
+	}
+	var edges [][2]Vertex
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want two fields, got %q", lineNo, line)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad from-vertex: %v", lineNo, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad to-vertex: %v", lineNo, err)
+		}
+		u, v := intern(from), intern(to)
+		if u == v {
+			continue // drop self-loops on ingest
+		}
+		edges = append(edges, [2]Vertex{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	g, err := FromEdges(len(orig), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orig, nil
+}
+
+// WriteEdgeList writes g in the plain "<from> <to>" text format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var writeErr error
+	g.Edges(func(u, v Vertex) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the binary graph format ("RGF1": Reachability
+// Graph Format v1).
+const binaryMagic = "RGF1"
+
+// WriteBinary serializes g in a compact little-endian binary format:
+// magic, n, m, out offsets, out adjacency. The reverse adjacency is
+// reconstructed on load.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := [2]uint64{uint64(g.NumVertices()), uint64(g.NumEdges())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outOff); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n, m := int(hdr[0]), int(hdr[1])
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	outOff := make([]uint32, n+1)
+	if err := binary.Read(br, binary.LittleEndian, outOff); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	outAdj := make([]uint32, m)
+	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	// Rebuild via the builder so the reverse adjacency and all invariants are
+	// re-derived rather than trusted.
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		if outOff[u] > outOff[u+1] || int(outOff[u+1]) > m {
+			return nil, fmt.Errorf("graph: corrupt offsets at vertex %d", u)
+		}
+		for _, v := range outAdj[outOff[u]:outOff[u+1]] {
+			b.AddEdge(Vertex(u), v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: edge count mismatch after load: %d != %d", g.NumEdges(), m)
+	}
+	return g, nil
+}

@@ -1,0 +1,136 @@
+package graph
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (explicit stack, so million-vertex graphs do not overflow the
+// goroutine stack). It returns comp, the component ID of each vertex, and
+// the number of components. Component IDs are assigned in reverse
+// topological order of the condensation: if component a can reach component
+// b (a != b), then comp id of a > comp id of b. This property lets Condense
+// build the DAG without re-sorting.
+func SCC(g *Graph) (comp []int32, numComp int) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+
+	var stack []Vertex    // Tarjan's component stack
+	var callVert []Vertex // explicit DFS stack: current vertex
+	var callEdge []int32  // explicit DFS stack: next out-edge position
+	next := int32(0)
+
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		callVert = append(callVert[:0], Vertex(s))
+		callEdge = append(callEdge[:0], 0)
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, Vertex(s))
+		onStack[s] = true
+
+		for len(callVert) > 0 {
+			v := callVert[len(callVert)-1]
+			ei := callEdge[len(callEdge)-1]
+			out := g.Out(v)
+			if int(ei) < len(out) {
+				callEdge[len(callEdge)-1]++
+				w := out[ei]
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callVert = append(callVert, w)
+					callEdge = append(callEdge, 0)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// All edges of v explored: pop, maybe emit a component.
+			callVert = callVert[:len(callVert)-1]
+			callEdge = callEdge[:len(callEdge)-1]
+			if len(callVert) > 0 {
+				parent := callVert[len(callVert)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(numComp)
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	return comp, numComp
+}
+
+// Condensation is the result of collapsing each strongly connected component
+// of a digraph into a single vertex, yielding a DAG plus the vertex mapping.
+type Condensation struct {
+	// DAG is the condensed graph; vertex c of DAG corresponds to one SCC.
+	DAG *Graph
+	// Comp maps each original vertex to its DAG vertex.
+	Comp []Vertex
+	// Members lists the original vertices of each DAG vertex.
+	Members [][]Vertex
+}
+
+// Condense collapses strongly connected components of g into single
+// vertices and returns the resulting DAG with mappings in both directions.
+// Reachability is preserved: u reaches v in g iff Comp[u] reaches Comp[v]
+// in DAG (with u reaching v trivially when Comp[u] == Comp[v]).
+func Condense(g *Graph) *Condensation {
+	comp, k := SCC(g)
+	// Tarjan assigns component IDs in reverse topological order; flip them so
+	// the condensed DAG tends to have edges from low to high IDs (cheap
+	// locality win; not relied upon for correctness).
+	flip := make([]Vertex, k)
+	for i := range flip {
+		flip[i] = Vertex(k - 1 - i)
+	}
+	mapped := make([]Vertex, len(comp))
+	for v, c := range comp {
+		mapped[v] = flip[c]
+	}
+
+	b := NewBuilder(k)
+	g.Edges(func(u, v Vertex) bool {
+		cu, cv := mapped[u], mapped[v]
+		if cu != cv {
+			b.AddEdge(cu, cv)
+		}
+		return true
+	})
+	dag := b.MustBuild()
+
+	members := make([][]Vertex, k)
+	for v, c := range mapped {
+		members[c] = append(members[c], Vertex(v))
+	}
+	return &Condensation{DAG: dag, Comp: mapped, Members: members}
+}
+
+// IsDAG reports whether g contains no directed cycle.
+func IsDAG(g *Graph) bool {
+	_, ok := TopoOrder(g)
+	return ok
+}

@@ -1,0 +1,123 @@
+package graph
+
+// TopoOrder returns a topological order of g (vertices before their
+// successors) using Kahn's algorithm, and whether g is acyclic. If g has a
+// cycle the returned slice is the partial order over acyclic prefix
+// vertices and ok is false.
+func TopoOrder(g *Graph) (order []Vertex, ok bool) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(Vertex(v)))
+	}
+	queue := make([]Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, Vertex(v))
+		}
+	}
+	order = make([]Vertex, 0, n)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, w := range g.Out(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// TopoPosition returns pos such that pos[v] is v's position in a topological
+// order. Panics if g is not a DAG (callers establish acyclicity first via
+// Condense or IsDAG).
+func TopoPosition(g *Graph) []int32 {
+	order, ok := TopoOrder(g)
+	if !ok {
+		panic("graph: TopoPosition on cyclic graph")
+	}
+	pos := make([]int32, g.NumVertices())
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	return pos
+}
+
+// TopoLevels returns, for each vertex, the length of the longest path from
+// any root to it (roots have level 0), plus the maximum level. Used by GRAIL
+// as a negative-query filter and by generators. Panics on cyclic input.
+func TopoLevels(g *Graph) (level []int32, maxLevel int32) {
+	order, ok := TopoOrder(g)
+	if !ok {
+		panic("graph: TopoLevels on cyclic graph")
+	}
+	level = make([]int32, g.NumVertices())
+	for _, v := range order {
+		for _, w := range g.Out(v) {
+			if level[v]+1 > level[w] {
+				level[w] = level[v] + 1
+			}
+		}
+	}
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	return level, maxLevel
+}
+
+// ReverseTopoLevels returns, for each vertex, the length of the longest path
+// from it to any sink (sinks have level 0). Symmetric to TopoLevels.
+func ReverseTopoLevels(g *Graph) (level []int32, maxLevel int32) {
+	return TopoLevels(g.Reverse())
+}
+
+// PostOrder assigns DFS post-order numbers starting from the roots
+// (children receive smaller numbers than parents; on trees, each subtree's
+// numbers are contiguous). Transitive-closure compression indexes renumber
+// vertices this way so reachable sets collapse into few runs.
+func PostOrder(g *Graph) []uint32 {
+	n := g.NumVertices()
+	po := make([]uint32, n)
+	visited := make([]bool, n)
+	next := uint32(0)
+	type frame struct {
+		v  Vertex
+		ei int
+	}
+	var stack []frame
+	dfs := func(start Vertex) {
+		if visited[start] {
+			return
+		}
+		visited[start] = true
+		stack = append(stack[:0], frame{v: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := g.Out(f.v)
+			if f.ei < len(out) {
+				w := out[f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w})
+				}
+				continue
+			}
+			po[f.v] = next
+			next++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, r := range g.Roots() {
+		dfs(r)
+	}
+	for v := 0; v < n; v++ {
+		dfs(Vertex(v)) // cyclic leftovers cannot occur in a DAG; guard anyway
+	}
+	return po
+}

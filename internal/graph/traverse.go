@@ -1,0 +1,210 @@
+package graph
+
+// Direction selects forward (out-edge) or backward (in-edge) traversal.
+type Direction int
+
+const (
+	// Forward follows out-edges.
+	Forward Direction = iota
+	// Backward follows in-edges.
+	Backward
+)
+
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// adj returns the adjacency of v in direction d.
+func (g *Graph) adj(v Vertex, d Direction) []uint32 {
+	if d == Forward {
+		return g.Out(v)
+	}
+	return g.In(v)
+}
+
+// Visitor holds reusable BFS state sized for one graph. The epoch trick
+// (mark = current epoch number instead of a bool) makes successive
+// traversals O(frontier) instead of O(n) to reset, which matters when a
+// labeling algorithm runs n traversals.
+type Visitor struct {
+	mark  []uint32
+	epoch uint32
+	queue []Vertex
+	dist  []int32
+}
+
+// NewVisitor returns traversal state for graphs with n vertices.
+func NewVisitor(n int) *Visitor {
+	return &Visitor{mark: make([]uint32, n), dist: make([]int32, n)}
+}
+
+// Reset invalidates all marks from prior traversals in O(1) (amortized; a
+// full clear happens only on epoch wraparound, once per 2^32 traversals).
+func (vst *Visitor) Reset() {
+	vst.epoch++
+	if vst.epoch == 0 { // wrapped: clear and restart
+		for i := range vst.mark {
+			vst.mark[i] = 0
+		}
+		vst.epoch = 1
+	}
+	vst.queue = vst.queue[:0]
+}
+
+// Visited reports whether v was marked in the current epoch.
+func (vst *Visitor) Visited(v Vertex) bool { return vst.mark[v] == vst.epoch }
+
+// Visit marks v in the current epoch; returns false if already marked.
+func (vst *Visitor) Visit(v Vertex) bool {
+	if vst.mark[v] == vst.epoch {
+		return false
+	}
+	vst.mark[v] = vst.epoch
+	return true
+}
+
+// BFS traverses g from src in direction dir, calling fn(v, dist) for every
+// visited vertex including src (dist 0). Traversal expands v only if fn
+// returns true, which is how labeling algorithms prune. The Visitor is Reset
+// automatically.
+func (vst *Visitor) BFS(g *Graph, src Vertex, dir Direction, fn func(v Vertex, dist int32) bool) {
+	vst.Reset()
+	vst.Visit(src)
+	vst.dist[src] = 0
+	vst.queue = append(vst.queue, src)
+	for head := 0; head < len(vst.queue); head++ {
+		v := vst.queue[head]
+		d := vst.dist[v]
+		if !fn(v, d) {
+			continue // pruned: do not expand v
+		}
+		for _, w := range g.adj(v, dir) {
+			if vst.Visit(w) {
+				vst.dist[w] = d + 1
+				vst.queue = append(vst.queue, w)
+			}
+		}
+	}
+}
+
+// BoundedBFS traverses from src up to maxDist steps, calling fn for every
+// visited vertex (including src at distance 0). Vertices at distance maxDist
+// are reported but not expanded.
+func (vst *Visitor) BoundedBFS(g *Graph, src Vertex, dir Direction, maxDist int32, fn func(v Vertex, dist int32)) {
+	vst.BFS(g, src, dir, func(v Vertex, d int32) bool {
+		fn(v, d)
+		return d < maxDist
+	})
+}
+
+// KNeighborhood returns all vertices within maxDist steps of src in
+// direction dir, including src itself, in BFS order.
+func (vst *Visitor) KNeighborhood(g *Graph, src Vertex, dir Direction, maxDist int32) []Vertex {
+	var out []Vertex
+	vst.BoundedBFS(g, src, dir, maxDist, func(v Vertex, _ int32) {
+		out = append(out, v)
+	})
+	return out
+}
+
+// Reachable answers u -> v by plain forward BFS; the ground-truth oracle for
+// tests and the "online search" reference point.
+func (vst *Visitor) Reachable(g *Graph, u, v Vertex) bool {
+	if u == v {
+		return true
+	}
+	found := false
+	vst.BFS(g, u, Forward, func(w Vertex, _ int32) bool {
+		if w == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// CountReachable returns |TC(u)| including u itself.
+func (vst *Visitor) CountReachable(g *Graph, u Vertex) int {
+	count := 0
+	vst.BFS(g, u, Forward, func(Vertex, int32) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// BiVisitor holds state for bidirectional BFS reachability: two Visitors,
+// one per direction.
+type BiVisitor struct {
+	fwd, bwd *Visitor
+}
+
+// NewBiVisitor returns bidirectional traversal state for n-vertex graphs.
+func NewBiVisitor(n int) *BiVisitor {
+	return &BiVisitor{fwd: NewVisitor(n), bwd: NewVisitor(n)}
+}
+
+// Reachable answers u -> v by alternating forward search from u and backward
+// search from v, expanding the smaller frontier first. On DAGs with small
+// out- or in-neighborhoods this is often far faster than one-sided BFS.
+func (bv *BiVisitor) Reachable(g *Graph, u, v Vertex) bool {
+	if u == v {
+		return true
+	}
+	f, b := bv.fwd, bv.bwd
+	f.Reset()
+	b.Reset()
+	f.Visit(u)
+	b.Visit(v)
+	f.queue = append(f.queue, u)
+	b.queue = append(b.queue, v)
+	fHead, bHead := 0, 0
+	for fHead < len(f.queue) || bHead < len(b.queue) {
+		// Expand the side with the smaller remaining frontier.
+		if fHead < len(f.queue) && (bHead >= len(b.queue) || len(f.queue)-fHead <= len(b.queue)-bHead) {
+			w := f.queue[fHead]
+			fHead++
+			for _, x := range g.Out(w) {
+				if b.Visited(x) {
+					return true
+				}
+				if f.Visit(x) {
+					f.queue = append(f.queue, x)
+				}
+			}
+		} else {
+			w := b.queue[bHead]
+			bHead++
+			for _, x := range g.In(w) {
+				if f.Visited(x) {
+					return true
+				}
+				if b.Visit(x) {
+					b.queue = append(b.queue, x)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Distance returns the shortest-path distance (in edges) from u to v
+// following dir, or -1 if unreachable. Used by backbone construction and by
+// tests of the one-side backbone property.
+func (vst *Visitor) Distance(g *Graph, u, v Vertex, dir Direction) int32 {
+	if u == v {
+		return 0
+	}
+	res := int32(-1)
+	vst.BFS(g, u, dir, func(w Vertex, d int32) bool {
+		if w == v {
+			res = d
+			return false
+		}
+		return res < 0
+	})
+	return res
+}

@@ -1,0 +1,179 @@
+package hoplabel
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersectsSorted(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want bool
+	}{
+		{nil, nil, false},
+		{[]uint32{1}, nil, false},
+		{[]uint32{1, 3, 5}, []uint32{2, 4, 6}, false},
+		{[]uint32{1, 3, 5}, []uint32{5}, true},
+		{[]uint32{7}, []uint32{1, 2, 7, 9}, true},
+		{[]uint32{1, 2, 3}, []uint32{3, 4, 5}, true},
+		{[]uint32{10, 20}, []uint32{1, 2, 3, 4, 5}, false},
+	}
+	for _, c := range cases {
+		if got := IntersectsSorted(c.a, c.b); got != c.want {
+			t.Errorf("IntersectsSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBuilderFreezeSortsAndDedups(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddOut(0, 5)
+	b.AddOut(0, 1)
+	b.AddOut(0, 5)
+	b.AddIn(1, 9)
+	b.AddIn(1, 9)
+	l := b.Freeze()
+	if got := l.Out(0); !reflect.DeepEqual(got, []uint32{1, 5}) {
+		t.Errorf("Out(0) = %v", got)
+	}
+	if got := l.In(1); !reflect.DeepEqual(got, []uint32{9}) {
+		t.Errorf("In(1) = %v", got)
+	}
+	if got := l.Out(1); len(got) != 0 {
+		t.Errorf("Out(1) = %v, want empty", got)
+	}
+	if l.SizeInts() != 3 {
+		t.Errorf("SizeInts = %d, want 3", l.SizeInts())
+	}
+}
+
+func TestReachableSelf(t *testing.T) {
+	l := NewBuilder(3).Freeze()
+	if !l.Reachable(1, 1) {
+		t.Error("self reachability must hold even with empty labels")
+	}
+	if l.Reachable(0, 1) {
+		t.Error("empty labels imply unreachable")
+	}
+}
+
+func TestReachableViaCommonHop(t *testing.T) {
+	b := NewBuilder(3)
+	// 0 -> 2 via hop 7... hops are arbitrary vertex IDs; use 2 itself.
+	b.AddOut(0, 2)
+	b.AddIn(2, 2)
+	l := b.Freeze()
+	if !l.Reachable(0, 2) {
+		t.Error("Reachable(0,2) = false")
+	}
+	if l.Reachable(2, 0) {
+		t.Error("Reachable(2,0) = true")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddOut(0, 1)
+	b.AddOut(0, 2)
+	b.AddIn(1, 3)
+	l := b.Freeze()
+	s := l.ComputeStats()
+	if s.TotalOut != 2 || s.TotalIn != 1 || s.MaxOut != 2 || s.MaxIn != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.AvgOut != 1.0 || s.AvgIn != 0.5 {
+		t.Errorf("avg = %+v", s)
+	}
+}
+
+func TestSetOutSetIn(t *testing.T) {
+	b := NewBuilder(1)
+	b.SetOut(0, []uint32{4, 2, 2})
+	b.SetIn(0, []uint32{8})
+	l := b.Freeze()
+	if got := l.Out(0); !reflect.DeepEqual(got, []uint32{2, 4}) {
+		t.Errorf("Out = %v", got)
+	}
+	if got := l.In(0); !reflect.DeepEqual(got, []uint32{8}) {
+		t.Errorf("In = %v", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(50)
+	for v := uint32(0); v < 50; v++ {
+		for k := 0; k < rng.Intn(8); k++ {
+			b.AddOut(v, uint32(rng.Intn(50)))
+		}
+		for k := 0; k < rng.Intn(8); k++ {
+			b.AddIn(v, uint32(rng.Intn(50)))
+		}
+	}
+	l := b.Freeze()
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumVertices() != l.NumVertices() || l2.SizeInts() != l.SizeInts() {
+		t.Fatal("round trip changed sizes")
+	}
+	for v := uint32(0); v < 50; v++ {
+		if !reflect.DeepEqual(l.Out(v), l2.Out(v)) || !reflect.DeepEqual(l.In(v), l2.In(v)) {
+			t.Fatalf("labels differ at vertex %d", v)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("garbage everywhere")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// Property: IntersectsSorted agrees with a map-based intersection test.
+func TestIntersectsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []uint32 {
+			m := map[uint32]bool{}
+			for i := 0; i < rng.Intn(30); i++ {
+				m[uint32(rng.Intn(60))] = true
+			}
+			var out []uint32
+			for x := uint32(0); x < 60; x++ {
+				if m[x] {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b := mk(), mk()
+		want := false
+		bm := map[uint32]bool{}
+		for _, x := range b {
+			bm[x] = true
+		}
+		for _, x := range a {
+			if bm[x] {
+				want = true
+				break
+			}
+		}
+		return IntersectsSorted(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

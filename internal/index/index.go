@@ -1,0 +1,24 @@
+// Package index defines the interface every reachability index in this
+// repository implements, so the benchmark harness and the SCARAB wrapper
+// can treat HL, DL and all baselines uniformly.
+package index
+
+// Index answers reachability queries over a fixed DAG.
+//
+// Implementations are NOT required to be safe for concurrent queries:
+// online-search style indexes (GRAIL, BFS) keep per-index traversal
+// scratch, mirroring the single-threaded query loops of the paper's
+// evaluation. Wrap with per-goroutine instances for concurrent use.
+type Index interface {
+	// Name is the short method tag used in the paper's tables (e.g. "DL").
+	Name() string
+	// Reachable reports whether vertex u reaches vertex v.
+	Reachable(u, v uint32) bool
+	// SizeInts is the index size in 32-bit integers, the metric of the
+	// paper's Figures 3 and 4.
+	SizeInts() int64
+}
+
+// Builder constructs an index for a DAG; registered by the harness under
+// the method's table tag.
+type Builder func() (Index, error)

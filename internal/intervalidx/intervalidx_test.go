@@ -1,0 +1,46 @@
+package intervalidx
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestIntervalExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(13) {
+		testutil.CheckExhaustive(t, name, g, Build(g))
+	}
+}
+
+func TestIntervalCompressesTrees(t *testing.T) {
+	// On a pure tree the postorder numbering makes every closure a single
+	// interval: size must be linear, roughly 3 ints per vertex.
+	g := gen.ForestDAG(4000, 1, 3)
+	idx := Build(g)
+	if idx.SizeInts() > int64(4*g.NumVertices()) {
+		t.Errorf("tree index size %d not linear (n=%d)", idx.SizeInts(), g.NumVertices())
+	}
+	testutil.CheckRandom(t, "forest", g, idx, 600, 2)
+}
+
+func TestIntervalDenseGrowth(t *testing.T) {
+	// Citation-style graphs should need noticeably more intervals per
+	// vertex than trees — the scalability cliff the paper reports.
+	tree := Build(gen.ForestDAG(2000, 1, 5))
+	dense := Build(gen.CitationDAG(2000, 4, 0.5, 5))
+	if dense.SizeInts() <= tree.SizeInts() {
+		t.Errorf("dense index (%d ints) not larger than tree index (%d ints)",
+			dense.SizeInts(), tree.SizeInts())
+	}
+}
+
+func TestIntervalPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on cyclic input")
+		}
+	}()
+	Build(graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}}))
+}

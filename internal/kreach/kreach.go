@@ -1,0 +1,218 @@
+// Package kreach implements K-Reach (Cheng et al., PVLDB 2012) specialized
+// to basic reachability (k = ∞), the paper's "KR" baseline: compute a
+// vertex cover, materialize pairwise reachability among cover vertices,
+// and answer queries through at most one cover hop on each side. Because
+// the cover's pairwise closure is materialized as bitsets, the index is
+// fast but its size grows quadratically in the cover — the reason KR shows
+// "—" on every large graph in Tables 5-7.
+package kreach
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// KReach is the K-Reach (k = ∞) index.
+type KReach struct {
+	g *graph.Graph
+	// coverID[v] is v's dense index within the cover, or -1.
+	coverID []int32
+	cover   []graph.Vertex
+	// reach[i] holds the cover vertices reachable from cover vertex i
+	// (itself included), as a bitset over cover indices.
+	reach []*bitset.Bitset
+}
+
+// Options bounds the cover-closure materialization so the harness can
+// reproduce the paper's "—" entries for KR on large graphs.
+type Options struct {
+	// MaxCoverBits aborts when |C|^2 bits exceed this budget
+	// (0 = 4 billion bits ≈ 512 MB).
+	MaxCoverBits int64
+}
+
+// ErrTooLarge reports that the vertex-cover closure exceeds the budget.
+var ErrTooLarge = fmt.Errorf("kreach: cover closure exceeds budget")
+
+// Build constructs the K-Reach index for DAG g.
+func Build(g *graph.Graph) *KReach {
+	k, err := BuildWithOptions(g, Options{MaxCoverBits: int64(math.MaxInt64)})
+	if err != nil {
+		panic(err) // unreachable with an unlimited budget
+	}
+	return k
+}
+
+// BuildWithOptions constructs the index under a memory budget.
+func BuildWithOptions(g *graph.Graph, opts Options) (*KReach, error) {
+	if opts.MaxCoverBits == 0 {
+		opts.MaxCoverBits = 4_000_000_000
+	}
+	k := &KReach{g: g}
+	k.selectCover()
+	c := int64(len(k.cover))
+	if c*c > opts.MaxCoverBits {
+		return nil, ErrTooLarge
+	}
+	k.materializeCoverClosure()
+	return k, nil
+}
+
+// degItem is a lazy-heap entry for greedy vertex cover.
+type degItem struct {
+	v   graph.Vertex
+	deg int32
+}
+
+type degHeap []degItem
+
+func (h degHeap) Len() int            { return len(h) }
+func (h degHeap) Less(i, j int) bool  { return h[i].deg > h[j].deg }
+func (h degHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *degHeap) Push(x interface{}) { *h = append(*h, x.(degItem)) }
+func (h *degHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// selectCover computes a greedy vertex cover: repeatedly take the vertex
+// covering the most uncovered edges (lazy-decrement heap).
+func (k *KReach) selectCover() {
+	g := k.g
+	n := g.NumVertices()
+	k.coverID = make([]int32, n)
+	for i := range k.coverID {
+		k.coverID[i] = -1
+	}
+	uncovered := make([]int32, n) // uncovered incident edges per vertex
+	for v := 0; v < n; v++ {
+		uncovered[v] = int32(g.OutDegree(graph.Vertex(v)) + g.InDegree(graph.Vertex(v)))
+	}
+	inCover := make([]bool, n)
+	h := make(degHeap, 0, n)
+	for v := 0; v < n; v++ {
+		if uncovered[v] > 0 {
+			h = append(h, degItem{v: graph.Vertex(v), deg: uncovered[v]})
+		}
+	}
+	heap.Init(&h)
+	remaining := g.NumEdges()
+	for remaining > 0 && h.Len() > 0 {
+		top := heap.Pop(&h).(degItem)
+		if inCover[top.v] {
+			continue
+		}
+		if top.deg != uncovered[top.v] {
+			if uncovered[top.v] > 0 {
+				top.deg = uncovered[top.v]
+				heap.Push(&h, top)
+			}
+			continue
+		}
+		if top.deg == 0 {
+			break
+		}
+		inCover[top.v] = true
+		// Each incident edge with a not-in-cover partner becomes covered.
+		for _, w := range g.Out(top.v) {
+			if !inCover[w] {
+				remaining--
+				uncovered[w]--
+			}
+		}
+		for _, w := range g.In(top.v) {
+			if !inCover[w] {
+				remaining--
+				uncovered[w]--
+			}
+		}
+		uncovered[top.v] = 0
+	}
+	for v := 0; v < n; v++ {
+		if inCover[v] {
+			k.coverID[v] = int32(len(k.cover))
+			k.cover = append(k.cover, graph.Vertex(v))
+		}
+	}
+}
+
+// materializeCoverClosure BFSes from every cover vertex, recording which
+// cover vertices it reaches.
+func (k *KReach) materializeCoverClosure() {
+	c := len(k.cover)
+	k.reach = make([]*bitset.Bitset, c)
+	vst := graph.NewVisitor(k.g.NumVertices())
+	for i, src := range k.cover {
+		b := bitset.New(c)
+		vst.BFS(k.g, src, graph.Forward, func(w graph.Vertex, _ int32) bool {
+			if id := k.coverID[w]; id >= 0 {
+				b.Set(int(id))
+			}
+			return true
+		})
+		k.reach[i] = b
+	}
+}
+
+// coverReach answers reachability between two cover vertices.
+func (k *KReach) coverReach(a, b int32) bool {
+	return k.reach[a].Get(int(b))
+}
+
+// Name implements index.Index.
+func (k *KReach) Name() string { return "KR" }
+
+// Reachable answers u -> v via the cover. Every edge has an endpoint in
+// the cover, so if u is not covered all its out-neighbors are, and if v is
+// not covered all its in-neighbors are; any u-v path of length ≥ 2
+// therefore passes through cover vertices adjacent to u and v.
+func (k *KReach) Reachable(u, v uint32) bool {
+	if u == v {
+		return true
+	}
+	if k.g.HasEdge(u, v) {
+		return true
+	}
+	var entries, exits []int32
+	if id := k.coverID[u]; id >= 0 {
+		entries = append(entries, id)
+	} else {
+		for _, w := range k.g.Out(u) {
+			entries = append(entries, k.coverID[w]) // w must be covered
+		}
+	}
+	if id := k.coverID[v]; id >= 0 {
+		exits = append(exits, id)
+	} else {
+		for _, w := range k.g.In(v) {
+			exits = append(exits, k.coverID[w])
+		}
+	}
+	for _, a := range entries {
+		for _, b := range exits {
+			if k.coverReach(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CoverSize returns |C|, the vertex-cover size.
+func (k *KReach) CoverSize() int { return len(k.cover) }
+
+// SizeInts counts the cover closure bitsets (two 32-bit integers per
+// 64-bit word) plus the cover-ID array.
+func (k *KReach) SizeInts() int64 {
+	total := int64(len(k.coverID))
+	for _, b := range k.reach {
+		total += int64(len(b.Words())) * 2
+	}
+	return total
+}

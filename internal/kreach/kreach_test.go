@@ -1,0 +1,70 @@
+package kreach
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestKReachExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(29) {
+		testutil.CheckExhaustive(t, name, g, Build(g))
+	}
+}
+
+func TestCoverIsVertexCover(t *testing.T) {
+	for name, g := range testutil.Families(31) {
+		k := Build(g)
+		g.Edges(func(u, v graph.Vertex) bool {
+			if k.coverID[u] < 0 && k.coverID[v] < 0 {
+				t.Errorf("%s: edge (%d,%d) uncovered", name, u, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestCoverSizeReasonable(t *testing.T) {
+	// Greedy cover should not exceed the trivial bound (all non-isolated
+	// vertices) and should beat it substantially on stars.
+	b := graph.NewBuilder(51)
+	for i := 1; i <= 50; i++ {
+		b.AddEdge(0, graph.Vertex(i))
+	}
+	g := b.MustBuild()
+	k := Build(g)
+	if k.CoverSize() != 1 {
+		t.Errorf("star cover size = %d, want 1", k.CoverSize())
+	}
+}
+
+func TestKReachQuadraticSize(t *testing.T) {
+	// The cover closure is |C|^2 bits: confirm superlinear growth — the
+	// reason KR fails on all large graphs in the paper.
+	small := Build(gen.UniformDAG(500, 1500, 3))
+	large := Build(gen.UniformDAG(2000, 6000, 3))
+	ratio := float64(large.SizeInts()) / float64(small.SizeInts())
+	if ratio < 6 { // 4x vertices should give ≳ 16x bitset growth; allow slack
+		t.Errorf("size grew only %.1fx for 4x vertices (%d -> %d ints)",
+			ratio, small.SizeInts(), large.SizeInts())
+	}
+}
+
+func TestKReachLargerRandom(t *testing.T) {
+	g := gen.XMLDAG(2500, 5, 0.2, 12)
+	testutil.CheckRandom(t, "xml", g, Build(g), 600, 4)
+}
+
+func TestKReachBudgetGuard(t *testing.T) {
+	g := gen.UniformDAG(1000, 3000, 7)
+	if _, err := BuildWithOptions(g, Options{MaxCoverBits: 100}); err != ErrTooLarge {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+	k, err := BuildWithOptions(g, Options{})
+	if err != nil {
+		t.Fatalf("default budget rejected a small graph: %v", err)
+	}
+	testutil.CheckRandom(t, "uniform1k", g, k, 400, 8)
+}

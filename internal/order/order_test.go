@@ -1,0 +1,93 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func star(t *testing.T) *graph.Graph {
+	t.Helper()
+	// Vertex 0 is a hub: 1->0, 2->0, 0->3, 0->4, plus a stray edge 1->2.
+	return graph.MustFromEdges(5, [][2]graph.Vertex{{1, 0}, {2, 0}, {0, 3}, {0, 4}, {1, 2}})
+}
+
+func TestDegreeProductRanksHubFirst(t *testing.T) {
+	g := star(t)
+	ord := ByDegreeProduct(g)
+	if ord[0] != 0 {
+		t.Fatalf("hub not first: order = %v", ord)
+	}
+	if len(ord) != 5 {
+		t.Fatalf("order has %d entries", len(ord))
+	}
+}
+
+func TestDegreeProductDeterministic(t *testing.T) {
+	g := gen.UniformDAG(200, 600, 4)
+	a := ByDegreeProduct(g)
+	b := ByDegreeProduct(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order not deterministic")
+		}
+	}
+}
+
+func TestAllStrategiesArePermutations(t *testing.T) {
+	g := gen.CitationDAG(100, 3, 0.5, 1)
+	for _, s := range []Strategy{DegreeProduct, Topo, RandomOrder, ReverseDegreeProduct} {
+		ord := ByStrategy(g, s, 7)
+		if len(ord) != g.NumVertices() {
+			t.Fatalf("%s: wrong length %d", s, len(ord))
+		}
+		seen := make([]bool, g.NumVertices())
+		for _, v := range ord {
+			if seen[v] {
+				t.Fatalf("%s: duplicate vertex %d", s, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTopoStrategyRespectsEdges(t *testing.T) {
+	g := gen.UniformDAG(80, 200, 2)
+	ord := ByStrategy(g, Topo, 0)
+	pos := PositionOf(ord)
+	g.Edges(func(u, v graph.Vertex) bool {
+		if pos[u] >= pos[v] {
+			t.Errorf("topo order violated for (%d,%d)", u, v)
+		}
+		return true
+	})
+}
+
+func TestReverseIsReverse(t *testing.T) {
+	g := star(t)
+	fwd := ByStrategy(g, DegreeProduct, 0)
+	rev := ByStrategy(g, ReverseDegreeProduct, 0)
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			t.Fatal("reverse strategy is not the reverse of forward")
+		}
+	}
+}
+
+func TestPositionOf(t *testing.T) {
+	ord := []graph.Vertex{2, 0, 1}
+	pos := PositionOf(ord)
+	if pos[2] != 0 || pos[0] != 1 || pos[1] != 2 {
+		t.Errorf("pos = %v", pos)
+	}
+}
+
+func TestUnknownStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown strategy")
+		}
+	}()
+	ByStrategy(star(t), Strategy("nope"), 0)
+}

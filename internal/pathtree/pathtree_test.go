@@ -1,0 +1,86 @@
+package pathtree
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestPathTreeExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(53) {
+		pt, err := Build(g, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, pt)
+	}
+}
+
+func TestDecompositionIsPartitionOfPaths(t *testing.T) {
+	g := gen.CitationDAG(400, 3, 0.5, 3)
+	pt, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each (path, pos) must be unique and positions contiguous from 0.
+	maxPos := map[uint32]uint32{}
+	seen := map[[2]uint32]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		key := [2]uint32{pt.pathOf[v], pt.posOf[v]}
+		if seen[key] {
+			t.Fatalf("duplicate path slot %v", key)
+		}
+		seen[key] = true
+		if cur, ok := maxPos[pt.pathOf[v]]; !ok || pt.posOf[v] > cur {
+			maxPos[pt.pathOf[v]] = pt.posOf[v]
+		}
+	}
+	if len(maxPos) != pt.NumPaths() {
+		t.Fatalf("NumPaths = %d but %d distinct path IDs", pt.NumPaths(), len(maxPos))
+	}
+	// Consecutive positions on a path must be connected by an edge.
+	onPath := make(map[[2]uint32]graph.Vertex)
+	for v := 0; v < g.NumVertices(); v++ {
+		onPath[[2]uint32{pt.pathOf[v], pt.posOf[v]}] = graph.Vertex(v)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if pt.posOf[v] == 0 {
+			continue
+		}
+		prev := onPath[[2]uint32{pt.pathOf[v], pt.posOf[v] - 1}]
+		if !g.HasEdge(prev, graph.Vertex(v)) {
+			t.Fatalf("path %d: no edge between consecutive members %d -> %d",
+				pt.pathOf[v], prev, v)
+		}
+	}
+}
+
+func TestPathTreeChainFriendly(t *testing.T) {
+	// A graph made of chains decomposes into few paths, and index size is
+	// then near-linear — PT's sweet spot.
+	g := gen.ChainDAG(3000, 8, 0.05, 6)
+	pt, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.NumPaths() > 400 {
+		t.Errorf("chain graph decomposed into %d paths", pt.NumPaths())
+	}
+	testutil.CheckRandom(t, "chain3k", g, pt, 600, 7)
+}
+
+func TestPathTreeBudget(t *testing.T) {
+	g := gen.CitationDAG(2000, 4, 0.5, 8)
+	if _, err := Build(g, Options{MaxEntries: 100}); err != ErrTooLarge {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+}
+
+func TestPathTreeRejectsCycle(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}})
+	if _, err := Build(g, Options{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package plandmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestPLExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(37) {
+		pl, err := Build(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, pl)
+	}
+}
+
+func TestPLDistancesExact(t *testing.T) {
+	g := gen.UniformDAG(150, 400, 21)
+	pl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst := graph.NewVisitor(g.NumVertices())
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 2000; q++ {
+		u := graph.Vertex(rng.Intn(g.NumVertices()))
+		v := graph.Vertex(rng.Intn(g.NumVertices()))
+		want := vst.Distance(g, u, v, graph.Forward)
+		if got := pl.Distance(uint32(u), uint32(v)); got != want {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+func TestPLRejectsCycle(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}})
+	if _, err := Build(g); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestPLSizeCountsDistances(t *testing.T) {
+	g := gen.TreeDAG(500, 0.1, 0, 9)
+	pl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels store hop+distance pairs: size must be even and at least two
+	// entries (one per direction, each counting hop and distance) per
+	// vertex... every vertex has at least its self entry in each side.
+	if pl.SizeInts() < int64(4*g.NumVertices()) {
+		t.Errorf("SizeInts = %d, implausibly small", pl.SizeInts())
+	}
+	if pl.SizeInts()%2 != 0 {
+		t.Errorf("SizeInts = %d, want even (hop+dist pairs)", pl.SizeInts())
+	}
+}

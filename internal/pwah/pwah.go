@@ -1,0 +1,342 @@
+// Package pwah implements a PWAH-8 style partitioned word-aligned hybrid
+// compressed bitvector, following van Schaik & de Moor, "A memory efficient
+// reachability data structure through bit vector compression" (SIGMOD 2011).
+//
+// Layout: each 64-bit word holds an 8-bit header (bits 56..63) and eight
+// 7-bit partitions (partition i occupies bits [7i, 7i+7)). Header bit i
+// classifies partition i:
+//
+//   - 0: literal — the partition's 7 bits are a verbatim block of the
+//     bitmap (block b covers bit positions [7b, 7b+7)).
+//   - 1: fill — bit 6 of the partition is the fill value (0 or 1) and bits
+//     0..5 are a 6-bit count limb. Consecutive fill partitions with the same
+//     fill value (across word boundaries) concatenate their limbs
+//     little-endian into one run length, measured in 7-bit blocks.
+//
+// Trailing zero blocks are implicit: a vector logically extends with zeros
+// forever, so queries past the encoded prefix return false. Membership is a
+// sequential scan (no random access), exactly the access pattern whose cost
+// the paper measures for the PW8 baseline.
+package pwah
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	blockBits     = 7
+	partsPerWord  = 8
+	headerShift   = 56
+	fillValueBit  = 1 << 6 // bit 6 of a fill partition holds the fill value
+	limbMask      = 0x3F   // bits 0..5 of a fill partition hold a count limb
+	literalAllOne = 0x7F
+)
+
+// Vector is an immutable compressed bitvector.
+type Vector struct {
+	words []uint64
+	parts int // total number of partitions used (may not fill the last word)
+}
+
+// Words returns the number of 64-bit words in the encoding (the paper's
+// size metric for PW8 counts these as two 32-bit integers each).
+func (v *Vector) Words() int { return len(v.words) }
+
+// SizeInts reports the index-size contribution in 32-bit integer units,
+// matching the "number of integers" metric of the paper's Figures 3 and 4.
+func (v *Vector) SizeInts() int64 { return int64(len(v.words)) * 2 }
+
+// builder appends partitions to an encoding under construction.
+type builder struct {
+	words []uint64
+	parts int
+}
+
+func (b *builder) appendPartition(isFill bool, payload uint64) {
+	slot := b.parts % partsPerWord
+	if slot == 0 {
+		b.words = append(b.words, 0)
+	}
+	w := &b.words[len(b.words)-1]
+	*w |= (payload & literalAllOne) << (uint(slot) * blockBits)
+	if isFill {
+		*w |= 1 << (headerShift + uint(slot))
+	}
+	b.parts++
+}
+
+// appendFill emits a (possibly multi-limb) fill run of n blocks with the
+// given fill value. A zero-length run emits nothing.
+func (b *builder) appendFill(value bool, n uint64) {
+	if n == 0 {
+		return
+	}
+	var vbit uint64
+	if value {
+		vbit = fillValueBit
+	}
+	for n > 0 {
+		limb := n & limbMask
+		n >>= 6
+		b.appendPartition(true, vbit|limb)
+	}
+}
+
+func (b *builder) vector() *Vector {
+	return &Vector{words: b.words, parts: b.parts}
+}
+
+// FromSorted builds a Vector from strictly increasing bit positions.
+func FromSorted(positions []uint32) *Vector {
+	var b builder
+	var curBlock uint64 // index of block currently being assembled
+	var payload uint64
+	var zeroRun uint64 // pending zero-fill blocks before curBlock
+	var onesRun uint64 // pending all-ones blocks before curBlock
+
+	flushRuns := func() {
+		if zeroRun > 0 {
+			b.appendFill(false, zeroRun)
+			zeroRun = 0
+		}
+		if onesRun > 0 {
+			b.appendFill(true, onesRun)
+			onesRun = 0
+		}
+	}
+	flushBlock := func() {
+		switch payload {
+		case 0:
+			// Nothing set: fold into a zero run (flush a ones run first to
+			// preserve ordering).
+			if onesRun > 0 {
+				b.appendFill(true, onesRun)
+				onesRun = 0
+			}
+			zeroRun++
+		case literalAllOne:
+			if zeroRun > 0 {
+				b.appendFill(false, zeroRun)
+				zeroRun = 0
+			}
+			onesRun++
+		default:
+			flushRuns()
+			b.appendPartition(false, payload)
+		}
+		payload = 0
+	}
+
+	for i, p := range positions {
+		if i > 0 && p <= positions[i-1] {
+			panic(fmt.Sprintf("pwah: positions not strictly increasing at %d", i))
+		}
+		blk := uint64(p) / blockBits
+		for curBlock < blk {
+			flushBlock()
+			// Fast-forward across whole-zero gaps without per-block work.
+			if payload == 0 && curBlock+1 < blk {
+				zeroGap := blk - curBlock - 1
+				if onesRun > 0 {
+					b.appendFill(true, onesRun)
+					onesRun = 0
+				}
+				zeroRun += zeroGap
+				curBlock = blk - 1
+			}
+			curBlock++
+		}
+		payload |= 1 << (uint64(p) % blockBits)
+	}
+	if payload != 0 {
+		flushBlock()
+	}
+	flushRuns()
+	return b.vector()
+}
+
+// Empty returns the vector with no set bits.
+func Empty() *Vector { return &Vector{} }
+
+// run is one decoded segment: count blocks, each with the same 7-bit
+// payload shape (0, all-ones, or a single literal block with count == 1).
+type run struct {
+	count   uint64
+	payload uint64 // 0x00, 0x7F for fills; arbitrary for literals
+}
+
+// iterator streams the runs of a Vector.
+type iterator struct {
+	v    *Vector
+	part int
+}
+
+// next returns the next run, or ok=false at end of stream.
+func (it *iterator) next() (run, bool) {
+	if it.part >= it.v.parts {
+		return run{}, false
+	}
+	word := it.v.words[it.part/partsPerWord]
+	slot := uint(it.part % partsPerWord)
+	isFill := word&(1<<(headerShift+slot)) != 0
+	payload := (word >> (slot * blockBits)) & literalAllOne
+	it.part++
+	if !isFill {
+		return run{count: 1, payload: payload}, true
+	}
+	value := payload & fillValueBit
+	count := payload & limbMask
+	shift := uint(6)
+	// Merge consecutive same-value fill limbs (little-endian).
+	for it.part < it.v.parts {
+		w := it.v.words[it.part/partsPerWord]
+		s := uint(it.part % partsPerWord)
+		if w&(1<<(headerShift+s)) == 0 {
+			break
+		}
+		p := (w >> (s * blockBits)) & literalAllOne
+		if p&fillValueBit != value {
+			break
+		}
+		count |= (p & limbMask) << shift
+		shift += 6
+		it.part++
+	}
+	fillPayload := uint64(0)
+	if value != 0 {
+		fillPayload = literalAllOne
+	}
+	return run{count: count, payload: fillPayload}, true
+}
+
+// Contains reports whether bit position p is set, by sequential scan.
+func (v *Vector) Contains(p uint32) bool {
+	target := uint64(p) / blockBits
+	bit := uint64(p) % blockBits
+	var block uint64
+	it := iterator{v: v}
+	for {
+		r, ok := it.next()
+		if !ok {
+			return false // implicit trailing zeros
+		}
+		if block+r.count > target {
+			return r.payload&(1<<bit) != 0
+		}
+		block += r.count
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	total := 0
+	it := iterator{v: v}
+	for {
+		r, ok := it.next()
+		if !ok {
+			return total
+		}
+		total += int(r.count) * bits.OnesCount64(r.payload&literalAllOne)
+	}
+}
+
+// ForEach calls fn with every set bit position in increasing order.
+func (v *Vector) ForEach(fn func(p uint32)) {
+	var block uint64
+	it := iterator{v: v}
+	for {
+		r, ok := it.next()
+		if !ok {
+			return
+		}
+		if r.payload != 0 {
+			for c := uint64(0); c < r.count; c++ {
+				base := (block + c) * blockBits
+				pl := r.payload
+				for pl != 0 {
+					tz := bits.TrailingZeros64(pl)
+					fn(uint32(base + uint64(tz)))
+					pl &= pl - 1
+				}
+			}
+		}
+		block += r.count
+	}
+}
+
+// Slice returns all set bits in increasing order.
+func (v *Vector) Slice() []uint32 {
+	out := make([]uint32, 0, v.Count())
+	v.ForEach(func(p uint32) { out = append(out, p) })
+	return out
+}
+
+// Or returns the compressed union of a and b, computed in the compressed
+// domain (runs are merged without materializing a dense bitmap).
+func Or(a, b *Vector) *Vector {
+	var out builder
+	ita, itb := iterator{v: a}, iterator{v: b}
+	ra, oka := ita.next()
+	rb, okb := itb.next()
+
+	var pendZero, pendOnes uint64
+	emitRun := func(payload, count uint64) {
+		switch payload {
+		case 0:
+			if pendOnes > 0 {
+				out.appendFill(true, pendOnes)
+				pendOnes = 0
+			}
+			pendZero += count
+		case literalAllOne:
+			if pendZero > 0 {
+				out.appendFill(false, pendZero)
+				pendZero = 0
+			}
+			pendOnes += count
+		default:
+			if pendZero > 0 {
+				out.appendFill(false, pendZero)
+				pendZero = 0
+			}
+			if pendOnes > 0 {
+				out.appendFill(true, pendOnes)
+				pendOnes = 0
+			}
+			for ; count > 0; count-- {
+				out.appendPartition(false, payload)
+			}
+		}
+	}
+
+	for oka || okb {
+		switch {
+		case oka && okb:
+			n := ra.count
+			if rb.count < n {
+				n = rb.count
+			}
+			emitRun(ra.payload|rb.payload, n)
+			ra.count -= n
+			rb.count -= n
+			if ra.count == 0 {
+				ra, oka = ita.next()
+			}
+			if rb.count == 0 {
+				rb, okb = itb.next()
+			}
+		case oka:
+			emitRun(ra.payload, ra.count)
+			ra, oka = ita.next()
+		default:
+			emitRun(rb.payload, rb.count)
+			rb, okb = itb.next()
+		}
+	}
+	// Trailing zeros are implicit — drop a pending zero run entirely.
+	if pendOnes > 0 {
+		out.appendFill(true, pendOnes)
+	}
+	return out.vector()
+}

@@ -1,0 +1,92 @@
+package pwah
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Or is associative — (a|b)|c == a|(b|c) as bit sets.
+func TestOrAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Vector {
+			return FromSorted(randomPositions(rng, rng.Intn(120), 1+rng.Intn(20000)))
+		}
+		a, b, c := mk(), mk(), mk()
+		left := Or(Or(a, b), c)
+		right := Or(a, Or(b, c))
+		return reflect.DeepEqual(left.Slice(), right.Slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the encoding never wastes words — re-encoding a decoded vector
+// yields the same (canonical) word count, i.e. FromSorted is a fixed point.
+func TestCanonicalEncodingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := FromSorted(randomPositions(rng, rng.Intn(200), 1+rng.Intn(50000)))
+		re := FromSorted(v.Slice())
+		return re.Words() == v.Words()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Or output is canonical too (no less compact than re-encoding
+// its own bits). Or may not always hit the minimal form for literals that
+// become fills, so allow equality-or-smaller for the re-encoded form.
+func TestOrOutputNearCanonicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := FromSorted(randomPositions(rng, rng.Intn(150), 1+rng.Intn(30000)))
+		b := FromSorted(randomPositions(rng, rng.Intn(150), 1+rng.Intn(30000)))
+		u := Or(a, b)
+		canonical := FromSorted(u.Slice())
+		return canonical.Words() <= u.Words()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzFromSortedContains cross-checks Contains against the input set for
+// fuzz-discovered position patterns.
+func FuzzFromSortedContains(f *testing.F) {
+	f.Add(uint32(0), uint32(100), uint32(7000))
+	f.Add(uint32(6), uint32(7), uint32(8))
+	f.Add(uint32(1), uint32(1<<20), uint32(1<<21))
+	f.Fuzz(func(t *testing.T, a, b, c uint32) {
+		// Build a strictly increasing set from the three seeds.
+		set := map[uint32]bool{a: true, b: true, c: true}
+		var positions []uint32
+		for _, p := range []uint32{a, b, c} {
+			positions = append(positions, p)
+		}
+		// Sort and dedup.
+		for i := 0; i < len(positions); i++ {
+			for j := i + 1; j < len(positions); j++ {
+				if positions[j] < positions[i] {
+					positions[i], positions[j] = positions[j], positions[i]
+				}
+			}
+		}
+		dedup := positions[:0]
+		for i, p := range positions {
+			if i == 0 || p != positions[i-1] {
+				dedup = append(dedup, p)
+			}
+		}
+		v := FromSorted(dedup)
+		for _, p := range []uint32{a, b, c, a + 1, b + 7, c + 63} {
+			if v.Contains(p) != set[p] {
+				t.Fatalf("Contains(%d) = %v, want %v (set %v)", p, v.Contains(p), set[p], dedup)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package pwah
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomPositions returns count strictly increasing positions below max.
+func randomPositions(rng *rand.Rand, count, max int) []uint32 {
+	if count > max {
+		count = max
+	}
+	seen := map[uint32]bool{}
+	for len(seen) < count {
+		seen[uint32(rng.Intn(max))] = true
+	}
+	out := make([]uint32, 0, count)
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestEmptyVector(t *testing.T) {
+	v := Empty()
+	if v.Count() != 0 || v.Words() != 0 || v.Contains(0) || v.Contains(1<<20) {
+		t.Fatal("empty vector misbehaves")
+	}
+	if got := FromSorted(nil); got.Count() != 0 {
+		t.Fatal("FromSorted(nil) not empty")
+	}
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	cases := [][]uint32{
+		{0},
+		{6},
+		{7},
+		{0, 1, 2, 3, 4, 5, 6}, // exactly one all-ones block
+		{0, 7, 14, 21},
+		{1000000},            // huge leading zero fill (multi-limb)
+		{0, 1000000},         // literal then giant gap
+		{63, 64, 65, 66, 67}, // straddles word-ish boundaries
+	}
+	for _, positions := range cases {
+		v := FromSorted(positions)
+		if got := v.Slice(); !reflect.DeepEqual(got, positions) {
+			t.Errorf("FromSorted(%v).Slice() = %v", positions, got)
+		}
+		if v.Count() != len(positions) {
+			t.Errorf("Count(%v) = %d", positions, v.Count())
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	positions := []uint32{3, 9, 70, 500, 501, 502, 99999}
+	v := FromSorted(positions)
+	set := map[uint32]bool{}
+	for _, p := range positions {
+		set[p] = true
+	}
+	for p := uint32(0); p < 600; p++ {
+		if v.Contains(p) != set[p] {
+			t.Fatalf("Contains(%d) = %v, want %v", p, v.Contains(p), set[p])
+		}
+	}
+	if !v.Contains(99999) || v.Contains(100000) || v.Contains(1<<25) {
+		t.Error("tail membership wrong")
+	}
+}
+
+func TestDenseRangeCompresses(t *testing.T) {
+	// 70,000 consecutive bits = 10,000 all-ones blocks: must compress to a
+	// handful of words, not thousands.
+	positions := make([]uint32, 70000)
+	for i := range positions {
+		positions[i] = uint32(i)
+	}
+	v := FromSorted(positions)
+	if v.Words() > 4 {
+		t.Errorf("dense run used %d words, want <= 4", v.Words())
+	}
+	if v.Count() != 70000 {
+		t.Errorf("Count = %d", v.Count())
+	}
+	if !v.Contains(69999) || v.Contains(70000) {
+		t.Error("boundary membership wrong")
+	}
+}
+
+func TestSparseHugeGapCompresses(t *testing.T) {
+	v := FromSorted([]uint32{0, 1 << 30})
+	if v.Words() > 3 {
+		t.Errorf("sparse vector used %d words, want <= 3", v.Words())
+	}
+	if !v.Contains(0) || !v.Contains(1<<30) || v.Contains(1<<29) {
+		t.Error("membership across giant gap wrong")
+	}
+}
+
+func TestSizeInts(t *testing.T) {
+	v := FromSorted([]uint32{0, 1 << 30})
+	if v.SizeInts() != int64(v.Words())*2 {
+		t.Errorf("SizeInts = %d, words = %d", v.SizeInts(), v.Words())
+	}
+}
+
+func TestOrBasic(t *testing.T) {
+	a := FromSorted([]uint32{1, 5, 100})
+	b := FromSorted([]uint32{5, 6, 7, 2000})
+	u := Or(a, b)
+	want := []uint32{1, 5, 6, 7, 100, 2000}
+	if got := u.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Or = %v, want %v", got, want)
+	}
+}
+
+func TestOrWithEmpty(t *testing.T) {
+	a := FromSorted([]uint32{10, 20})
+	if got := Or(a, Empty()).Slice(); !reflect.DeepEqual(got, a.Slice()) {
+		t.Errorf("Or(a, empty) = %v", got)
+	}
+	if got := Or(Empty(), a).Slice(); !reflect.DeepEqual(got, a.Slice()) {
+		t.Errorf("Or(empty, a) = %v", got)
+	}
+	if got := Or(Empty(), Empty()); got.Count() != 0 {
+		t.Errorf("Or(empty, empty) has %d bits", got.Count())
+	}
+}
+
+// Property: Slice(FromSorted(p)) == p for random position sets.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		positions := randomPositions(rng, rng.Intn(300), 1+rng.Intn(100000))
+		v := FromSorted(positions)
+		got := v.Slice()
+		if len(got) != len(positions) {
+			return false
+		}
+		for i := range got {
+			if got[i] != positions[i] {
+				return false
+			}
+		}
+		return v.Count() == len(positions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Or agrees with set union; also checks commutativity.
+func TestOrProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		max := 1 + rng.Intn(50000)
+		pa := randomPositions(rng, rng.Intn(200), max)
+		pb := randomPositions(rng, rng.Intn(200), max)
+		union := map[uint32]bool{}
+		for _, p := range pa {
+			union[p] = true
+		}
+		for _, p := range pb {
+			union[p] = true
+		}
+		want := make([]uint32, 0, len(union))
+		for p := range union {
+			want = append(want, p)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		a, b := FromSorted(pa), FromSorted(pb)
+		ab, ba := Or(a, b).Slice(), Or(b, a).Slice()
+		return reflect.DeepEqual(ab, want) && reflect.DeepEqual(ba, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains agrees with a map for random queries.
+func TestContainsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		max := 1 + rng.Intn(20000)
+		positions := randomPositions(rng, rng.Intn(150), max)
+		set := map[uint32]bool{}
+		for _, p := range positions {
+			set[p] = true
+		}
+		v := FromSorted(positions)
+		for q := 0; q < 200; q++ {
+			p := uint32(rng.Intn(max + 100))
+			if v.Contains(p) != set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: repeated Or is idempotent (a | a == a as a set).
+func TestOrIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		positions := randomPositions(rng, rng.Intn(200), 30000)
+		a := FromSorted(positions)
+		return reflect.DeepEqual(Or(a, a).Slice(), a.Slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on unsorted input")
+		}
+	}()
+	FromSorted([]uint32{5, 3})
+}

@@ -1,0 +1,61 @@
+// Package pwahidx implements the PWAH-8 compressed-bitvector transitive
+// closure index of van Schaik & de Moor (SIGMOD 2011) — the "PW8" baseline.
+// TC(v) is a PWAH-8 compressed bitvector over DFS post-order vertex
+// numbers, built by compressed-domain ORs in reverse topological order;
+// membership queries scan the compressed words sequentially (the access
+// pattern whose cost the paper's query tables expose on large graphs).
+package pwahidx
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pwah"
+)
+
+// PWAH is the PW8 reachability index.
+type PWAH struct {
+	po    []uint32
+	reach []*pwah.Vector
+}
+
+// Build constructs the PW8 index for DAG g.
+func Build(g *graph.Graph) *PWAH {
+	n := g.NumVertices()
+	idx := &PWAH{po: make([]uint32, n), reach: make([]*pwah.Vector, n)}
+	// Reuse the same post-order renumbering trick as the interval index:
+	// contiguous descendant runs compress into fills.
+	idx.po = graph.PostOrder(g)
+	order, ok := graph.TopoOrder(g)
+	if !ok {
+		panic("pwahidx: input must be a DAG")
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		vec := pwah.FromSorted([]uint32{idx.po[v]})
+		for _, w := range g.Out(v) {
+			vec = pwah.Or(vec, idx.reach[w])
+		}
+		idx.reach[v] = vec
+	}
+	return idx
+}
+
+// Name implements index.Index.
+func (idx *PWAH) Name() string { return "PW8" }
+
+// Reachable reports u -> v by scanning TC(u)'s compressed bitvector.
+func (idx *PWAH) Reachable(u, v uint32) bool {
+	if u == v {
+		return true
+	}
+	return idx.reach[u].Contains(idx.po[v])
+}
+
+// SizeInts counts compressed words (two 32-bit integers each) plus the
+// renumbering array.
+func (idx *PWAH) SizeInts() int64 {
+	total := int64(len(idx.po))
+	for _, vec := range idx.reach {
+		total += vec.SizeInts()
+	}
+	return total
+}

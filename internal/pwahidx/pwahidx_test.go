@@ -1,0 +1,48 @@
+package pwahidx
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/intervalidx"
+	"repro/internal/testutil"
+)
+
+func TestPWAHExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(19) {
+		testutil.CheckExhaustive(t, name, g, Build(g))
+	}
+}
+
+func TestPWAHCompressesTrees(t *testing.T) {
+	g := gen.ForestDAG(4000, 1, 3)
+	idx := Build(g)
+	// Postorder renumbering turns subtree closures into single fills:
+	// expect a handful of words per vertex.
+	if idx.SizeInts() > int64(8*g.NumVertices()) {
+		t.Errorf("tree index size %d not near-linear (n=%d)", idx.SizeInts(), g.NumVertices())
+	}
+	testutil.CheckRandom(t, "forest", g, idx, 600, 2)
+}
+
+func TestPWAHSmallerThanIntervalOnScatteredClosures(t *testing.T) {
+	// On dense graphs with scattered reachable sets, bit-packed literals
+	// beat two-integer intervals — the memory argument of the PWAH paper.
+	g := gen.CitationDAG(1500, 5, 0.6, 9)
+	pw := Build(g)
+	iv := intervalidx.Build(g)
+	if pw.SizeInts() >= iv.SizeInts() {
+		t.Errorf("PW8 (%d ints) not smaller than INT (%d ints) on dense graph",
+			pw.SizeInts(), iv.SizeInts())
+	}
+}
+
+func TestPWAHPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on cyclic input")
+		}
+	}()
+	Build(graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}}))
+}

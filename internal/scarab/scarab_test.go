@@ -1,0 +1,68 @@
+package scarab
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/pathtree"
+	"repro/internal/testutil"
+)
+
+func grailInner(star *graph.Graph) (index.Index, error) {
+	return grail.Build(star, grail.Options{Seed: 1}), nil
+}
+
+func pathTreeInner(star *graph.Graph) (index.Index, error) {
+	return pathtree.Build(star, pathtree.Options{})
+}
+
+func TestScarabGrailExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(59) {
+		s, err := Build(g, "GL*", grailInner)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, s)
+	}
+}
+
+func TestScarabPathTreeExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(61) {
+		s, err := Build(g, "PT*", pathTreeInner)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, s)
+	}
+}
+
+func TestScarabShrinksInnerProblem(t *testing.T) {
+	g := gen.TreeDAG(5000, 0.1, 0, 4)
+	s, err := Build(g, "GL*", grailInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BackboneSize() >= g.NumVertices()/2 {
+		t.Errorf("backbone %d of %d vertices: no real reduction", s.BackboneSize(), g.NumVertices())
+	}
+	testutil.CheckRandom(t, "tree5k", g, s, 500, 3)
+}
+
+func TestScarabEps1(t *testing.T) {
+	g := gen.UniformDAG(300, 800, 9)
+	s, err := BuildEps(g, "GL*", 1, grailInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckExhaustive(t, "uniform-eps1", g, s)
+}
+
+func TestScarabRejectsCycle(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}})
+	if _, err := Build(g, "GL*", grailInner); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

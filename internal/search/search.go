@@ -1,0 +1,91 @@
+// Package search provides index-free online reachability: plain BFS, DFS
+// and bidirectional BFS. These are the "no precomputation" reference
+// points of the paper's taxonomy (§2.1) and the ground truth for every
+// correctness test in this repository.
+package search
+
+import "repro/internal/graph"
+
+// BFS answers queries by forward breadth-first search.
+type BFS struct {
+	g   *graph.Graph
+	vst *graph.Visitor
+}
+
+// NewBFS returns a BFS searcher over g.
+func NewBFS(g *graph.Graph) *BFS {
+	return &BFS{g: g, vst: graph.NewVisitor(g.NumVertices())}
+}
+
+// Name implements index.Index.
+func (b *BFS) Name() string { return "BFS" }
+
+// Reachable reports whether u reaches v.
+func (b *BFS) Reachable(u, v uint32) bool { return b.vst.Reachable(b.g, u, v) }
+
+// SizeInts is zero: online search stores no index.
+func (b *BFS) SizeInts() int64 { return 0 }
+
+// Bidirectional answers queries by alternating forward/backward BFS,
+// expanding the smaller frontier.
+type Bidirectional struct {
+	g  *graph.Graph
+	bi *graph.BiVisitor
+}
+
+// NewBidirectional returns a bidirectional searcher over g.
+func NewBidirectional(g *graph.Graph) *Bidirectional {
+	return &Bidirectional{g: g, bi: graph.NewBiVisitor(g.NumVertices())}
+}
+
+// Name implements index.Index.
+func (b *Bidirectional) Name() string { return "BiBFS" }
+
+// Reachable reports whether u reaches v.
+func (b *Bidirectional) Reachable(u, v uint32) bool { return b.bi.Reachable(b.g, u, v) }
+
+// SizeInts is zero: online search stores no index.
+func (b *Bidirectional) SizeInts() int64 { return 0 }
+
+// DFS answers queries by iterative depth-first search. Included because
+// the paper's online-search discussion covers both BFS and DFS; DFS can
+// differ wildly in visit order and stack behaviour.
+type DFS struct {
+	g     *graph.Graph
+	vst   *graph.Visitor
+	stack []graph.Vertex
+}
+
+// NewDFS returns a DFS searcher over g.
+func NewDFS(g *graph.Graph) *DFS {
+	return &DFS{g: g, vst: graph.NewVisitor(g.NumVertices())}
+}
+
+// Name implements index.Index.
+func (d *DFS) Name() string { return "DFS" }
+
+// Reachable reports whether u reaches v.
+func (d *DFS) Reachable(u, v uint32) bool {
+	if u == v {
+		return true
+	}
+	d.vst.Reset()
+	d.vst.Visit(u)
+	d.stack = append(d.stack[:0], u)
+	for len(d.stack) > 0 {
+		x := d.stack[len(d.stack)-1]
+		d.stack = d.stack[:len(d.stack)-1]
+		for _, w := range d.g.Out(x) {
+			if w == v {
+				return true
+			}
+			if d.vst.Visit(w) {
+				d.stack = append(d.stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// SizeInts is zero: online search stores no index.
+func (d *DFS) SizeInts() int64 { return 0 }

@@ -1,0 +1,27 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSearchersExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(3) {
+		testutil.CheckExhaustive(t, name, g, NewBFS(g))
+		testutil.CheckExhaustive(t, name, g, NewDFS(g))
+		testutil.CheckExhaustive(t, name, g, NewBidirectional(g))
+	}
+}
+
+func TestSearchersReportZeroSize(t *testing.T) {
+	g := testutil.Families(1)["tree"]
+	for _, s := range []interface {
+		SizeInts() int64
+		Name() string
+	}{NewBFS(g), NewDFS(g), NewBidirectional(g)} {
+		if s.SizeInts() != 0 {
+			t.Errorf("%s: SizeInts = %d, want 0", s.Name(), s.SizeInts())
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package tc
+
+import "sort"
+
+// Interval is an inclusive range [Lo, Hi] of vertex numbers.
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// IntervalSet is a sorted list of disjoint, non-adjacent inclusive
+// intervals. It is the compressed representation used by the Nuutila
+// interval index (INT) and the tree-cover family: any contiguous segment of
+// a transitive closure collapses to one interval, e.g. {1,2,3,4,8,9,10}
+// becomes [1,4],[8,10] (the paper's §2.1 example).
+type IntervalSet []Interval
+
+// Contains reports whether x lies in some interval, by binary search.
+func (s IntervalSet) Contains(x uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Hi >= x })
+	return i < len(s) && s[i].Lo <= x
+}
+
+// Card returns the number of integers covered.
+func (s IntervalSet) Card() int64 {
+	var total int64
+	for _, iv := range s {
+		total += int64(iv.Hi-iv.Lo) + 1
+	}
+	return total
+}
+
+// SizeInts returns the storage cost in 32-bit integers (two per interval),
+// the metric used for index-size reporting.
+func (s IntervalSet) SizeInts() int64 { return int64(len(s)) * 2 }
+
+// FromSortedValues builds an IntervalSet from strictly increasing values,
+// merging adjacent runs.
+func FromSortedValues(values []uint32) IntervalSet {
+	var out IntervalSet
+	for i := 0; i < len(values); {
+		j := i
+		for j+1 < len(values) && values[j+1] == values[j]+1 {
+			j++
+		}
+		out = append(out, Interval{Lo: values[i], Hi: values[j]})
+		i = j + 1
+	}
+	return out
+}
+
+// MergeIntervalSets unions any number of interval sets into a normalized
+// set (sorted, disjoint, non-adjacent merged). This is the inner loop of
+// the Nuutila index construction, so it avoids per-element work: k-way
+// concatenation, sort by Lo, then a single sweep.
+func MergeIntervalSets(sets ...IntervalSet) IntervalSet {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make(IntervalSet, 0, total)
+	for _, s := range sets {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Lo < all[j].Lo })
+	out := all[:1]
+	for _, iv := range all[1:] {
+		last := &out[len(out)-1]
+		overlapsOrAdjacent := iv.Lo <= last.Hi ||
+			(last.Hi != ^uint32(0) && iv.Lo == last.Hi+1)
+		if overlapsOrAdjacent {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// AddValue returns s with the single value x included (normalized).
+func (s IntervalSet) AddValue(x uint32) IntervalSet {
+	return MergeIntervalSets(s, IntervalSet{{Lo: x, Hi: x}})
+}
+
+// Values expands the set to its member values in increasing order. For
+// tests only; defeats the point of the compression otherwise.
+func (s IntervalSet) Values() []uint32 {
+	out := make([]uint32, 0, s.Card())
+	for _, iv := range s {
+		for x := iv.Lo; ; x++ {
+			out = append(out, x)
+			if x == iv.Hi {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Package tc computes and represents transitive closures. Full closure
+// materialization is what the paper's expensive baselines (2HOP, K-Reach,
+// PW8, INT) need and what HL/DL avoid; this package provides it for those
+// baselines, for ground truth in tests, and for positive-query sampling in
+// the benchmark workload generator.
+package tc
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// Closure returns the full transitive closure of DAG g as one bitset per
+// vertex; closure[u] contains v iff u reaches v (u itself included).
+// Memory is O(n^2/64) — callers must budget-guard large graphs.
+func Closure(g *graph.Graph) []*bitset.Bitset {
+	n := g.NumVertices()
+	order, ok := graph.TopoOrder(g)
+	if !ok {
+		panic("tc: Closure requires a DAG")
+	}
+	closure := make([]*bitset.Bitset, n)
+	// Reverse topological order: successors are complete before
+	// predecessors, so TC(u) = {u} ∪ ⋃ TC(succ).
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		b := bitset.New(n)
+		b.Set(int(u))
+		for _, w := range g.Out(u) {
+			b.Or(closure[w])
+		}
+		closure[u] = b
+	}
+	return closure
+}
+
+// ReverseClosure returns, for each vertex v, the set of vertices that reach
+// v (v itself included).
+func ReverseClosure(g *graph.Graph) []*bitset.Bitset {
+	return Closure(g.Reverse())
+}
+
+// CountPairs returns the number of ordered reachable pairs (u, v) with
+// u != v, by materializing the closure. Only for graphs small enough for
+// Closure.
+func CountPairs(g *graph.Graph) int64 {
+	closure := Closure(g)
+	var total int64
+	for _, b := range closure {
+		total += int64(b.Count() - 1) // exclude the self pair
+	}
+	return total
+}
+
+// EstimatePairs estimates the number of ordered reachable pairs (u, v),
+// u != v, by running forward BFS from `samples` uniformly random sources.
+// Cost is O(samples * (n + m)); the estimate is unbiased.
+func EstimatePairs(g *graph.Graph, samples int, seed int64) int64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vst := graph.NewVisitor(n)
+	var total int64
+	for i := 0; i < samples; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		total += int64(vst.CountReachable(g, u) - 1)
+	}
+	return total * int64(n) / int64(samples)
+}
+
+// SamplePositivePair returns a uniformly-random-source reachable pair
+// (u, v), u != v, or ok=false if none was found within a bounded number of
+// attempts (e.g. on an edgeless graph). The paper's "equal" workload samples
+// positive queries from the transitive closure; this does so without
+// materializing it.
+func SamplePositivePair(g *graph.Graph, rng *rand.Rand, vst *graph.Visitor) (u, v graph.Vertex, ok bool) {
+	n := g.NumVertices()
+	if n < 2 || g.NumEdges() == 0 {
+		return 0, 0, false
+	}
+	var reach []graph.Vertex
+	for attempt := 0; attempt < 64; attempt++ {
+		src := graph.Vertex(rng.Intn(n))
+		reach = reach[:0]
+		vst.BFS(g, src, graph.Forward, func(w graph.Vertex, _ int32) bool {
+			if w != src {
+				reach = append(reach, w)
+			}
+			return true
+		})
+		if len(reach) > 0 {
+			return src, reach[rng.Intn(len(reach))], true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,207 @@
+package tc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestClosureDiamond(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]graph.Vertex{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	closure := Closure(g)
+	want := [][]int{
+		{0, 1, 2, 3},
+		{1, 3},
+		{2, 3},
+		{3},
+	}
+	for v, w := range want {
+		if got := closure[v].Slice(); !reflect.DeepEqual(got, w) {
+			t.Errorf("TC(%d) = %v, want %v", v, got, w)
+		}
+	}
+	if CountPairs(g) != 5 {
+		t.Errorf("CountPairs = %d, want 5", CountPairs(g))
+	}
+}
+
+func TestClosureMatchesBFS(t *testing.T) {
+	g := gen.UniformDAG(150, 400, 11)
+	closure := Closure(g)
+	vst := graph.NewVisitor(g.NumVertices())
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 500; q++ {
+		u := graph.Vertex(rng.Intn(g.NumVertices()))
+		v := graph.Vertex(rng.Intn(g.NumVertices()))
+		if got, want := closure[u].Get(int(v)), vst.Reachable(g, u, v); got != want {
+			t.Fatalf("TC(%d) contains %d = %v, BFS says %v", u, v, got, want)
+		}
+	}
+}
+
+func TestReverseClosure(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]graph.Vertex{{0, 1}, {1, 2}})
+	rc := ReverseClosure(g)
+	if got := rc[2].Slice(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("reverse TC(2) = %v", got)
+	}
+	if got := rc[0].Slice(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("reverse TC(0) = %v", got)
+	}
+}
+
+func TestEstimatePairsExactWhenFullSample(t *testing.T) {
+	g := gen.TreeDAG(120, 0.1, 0, 3)
+	exact := CountPairs(g)
+	// Sampling every vertex... EstimatePairs samples with replacement, so use
+	// a generous tolerance instead of equality.
+	est := EstimatePairs(g, 120, 1)
+	lo, hi := exact/2, exact*2
+	if est < lo || est > hi {
+		t.Errorf("estimate %d implausible vs exact %d", est, exact)
+	}
+	if EstimatePairs(graph.NewBuilder(0).MustBuild(), 5, 1) != 0 {
+		t.Error("estimate on empty graph should be 0")
+	}
+}
+
+func TestSamplePositivePair(t *testing.T) {
+	g := gen.CitationDAG(300, 3, 0.5, 9)
+	rng := rand.New(rand.NewSource(2))
+	vst := graph.NewVisitor(g.NumVertices())
+	check := graph.NewVisitor(g.NumVertices())
+	for i := 0; i < 100; i++ {
+		u, v, ok := SamplePositivePair(g, rng, vst)
+		if !ok {
+			t.Fatal("sampling failed on a graph with edges")
+		}
+		if u == v {
+			t.Fatal("sampled a self pair")
+		}
+		if !check.Reachable(g, u, v) {
+			t.Fatalf("sampled unreachable pair (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestSamplePositivePairEdgeless(t *testing.T) {
+	g := graph.NewBuilder(5).MustBuild()
+	rng := rand.New(rand.NewSource(1))
+	vst := graph.NewVisitor(5)
+	if _, _, ok := SamplePositivePair(g, rng, vst); ok {
+		t.Fatal("sampled a pair from an edgeless graph")
+	}
+}
+
+func TestIntervalSetBasics(t *testing.T) {
+	s := FromSortedValues([]uint32{1, 2, 3, 4, 8, 9, 10})
+	want := IntervalSet{{1, 4}, {8, 10}}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("FromSortedValues = %v, want %v (the paper's §2.1 example)", s, want)
+	}
+	if s.Card() != 7 {
+		t.Errorf("Card = %d, want 7", s.Card())
+	}
+	if s.SizeInts() != 4 {
+		t.Errorf("SizeInts = %d, want 4", s.SizeInts())
+	}
+	for _, x := range []uint32{1, 2, 4, 8, 10} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{0, 5, 7, 11, 100} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+}
+
+func TestMergeIntervalSets(t *testing.T) {
+	a := IntervalSet{{1, 3}, {10, 12}}
+	b := IntervalSet{{4, 5}, {11, 20}}
+	got := MergeIntervalSets(a, b)
+	want := IntervalSet{{1, 5}, {10, 20}} // [1,3]+[4,5] adjacent-merge
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge = %v, want %v", got, want)
+	}
+	if MergeIntervalSets() != nil {
+		t.Error("empty merge should be nil")
+	}
+	if got := MergeIntervalSets(nil, a); !reflect.DeepEqual(got, a) {
+		t.Errorf("merge with nil = %v", got)
+	}
+}
+
+func TestIntervalSetAddValue(t *testing.T) {
+	s := IntervalSet{{5, 7}}
+	s = s.AddValue(8) // adjacent: extends
+	if !reflect.DeepEqual(s, IntervalSet{{5, 8}}) {
+		t.Fatalf("AddValue(8) = %v", s)
+	}
+	s = s.AddValue(1)
+	if !reflect.DeepEqual(s, IntervalSet{{1, 1}, {5, 8}}) {
+		t.Fatalf("AddValue(1) = %v", s)
+	}
+}
+
+func TestIntervalSetValuesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := map[uint32]bool{}
+		for i := 0; i < 80; i++ {
+			set[uint32(rng.Intn(200))] = true
+		}
+		values := make([]uint32, 0, len(set))
+		for x := uint32(0); x < 200; x++ {
+			if set[x] {
+				values = append(values, x)
+			}
+		}
+		s := FromSortedValues(values)
+		return reflect.DeepEqual(s.Values(), values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merged set contains exactly the union's members.
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() (IntervalSet, map[uint32]bool) {
+			set := map[uint32]bool{}
+			var vals []uint32
+			for x := uint32(0); x < 150; x++ {
+				if rng.Intn(3) == 0 {
+					set[x] = true
+					vals = append(vals, x)
+				}
+			}
+			return FromSortedValues(vals), set
+		}
+		a, sa := mk()
+		b, sb := mk()
+		m := MergeIntervalSets(a, b)
+		for x := uint32(0); x < 160; x++ {
+			if m.Contains(x) != (sa[x] || sb[x]) {
+				return false
+			}
+		}
+		// Normalization: intervals strictly separated by at least one gap.
+		for i := 1; i < len(m); i++ {
+			if m[i].Lo <= m[i-1].Hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

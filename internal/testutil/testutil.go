@@ -1,0 +1,76 @@
+// Package testutil provides shared correctness-checking helpers for the
+// reachability index test suites: representative graph families and
+// exhaustive comparison against materialized-closure ground truth.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tc"
+)
+
+// Queryable is the minimal query surface shared by every index.
+type Queryable interface {
+	Reachable(u, v uint32) bool
+	Name() string
+}
+
+// Families returns one small DAG per structural family, keyed by name.
+func Families(seed int64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"uniform":  gen.UniformDAG(120, 320, seed),
+		"tree":     gen.TreeDAG(120, 0.15, 0, seed),
+		"citation": gen.CitationDAG(120, 3, 0.5, seed),
+		"chain":    gen.ChainDAG(120, 5, 0.2, seed),
+		"xml":      gen.XMLDAG(120, 4, 0.2, seed),
+		"forest":   gen.ForestDAG(120, 2, seed),
+		"powerlaw": gen.PowerLawDAG(120, 320, 1.4, seed),
+	}
+}
+
+// CheckExhaustive compares q against BFS ground truth on every ordered
+// vertex pair of g.
+func CheckExhaustive(t *testing.T, tag string, g *graph.Graph, q Queryable) {
+	t.Helper()
+	closure := tc.Closure(g)
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := closure[u].Get(v)
+			if got := q.Reachable(uint32(u), uint32(v)); got != want {
+				t.Fatalf("%s/%s: Reachable(%d,%d) = %v, want %v", tag, q.Name(), u, v, got, want)
+			}
+		}
+	}
+}
+
+// CheckRandom compares q against BFS ground truth on `queries` random
+// pairs; for graphs too large for exhaustive checking.
+func CheckRandom(t *testing.T, tag string, g *graph.Graph, q Queryable, queries int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vst := graph.NewVisitor(g.NumVertices())
+	n := g.NumVertices()
+	for i := 0; i < queries; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		want := vst.Reachable(g, u, v)
+		if got := q.Reachable(uint32(u), uint32(v)); got != want {
+			t.Fatalf("%s/%s: Reachable(%d,%d) = %v, want %v", tag, q.Name(), u, v, got, want)
+		}
+	}
+	// Bias toward positives: random pairs on sparse DAGs are mostly
+	// negative, so also sample known-reachable pairs.
+	for i := 0; i < queries/2; i++ {
+		u, v, ok := tc.SamplePositivePair(g, rng, vst)
+		if !ok {
+			return
+		}
+		if !q.Reachable(uint32(u), uint32(v)) {
+			t.Fatalf("%s/%s: known-positive pair (%d,%d) reported unreachable", tag, q.Name(), u, v)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package tflabel implements TF-label (Cheng et al., SIGMOD 2013) — the
+// "TF" baseline — via the equivalence the paper itself establishes (§2.4,
+// §4): TF-label's topological-folding hierarchy is the ε = 1 special case
+// of Hierarchical-Labeling, where each hierarchy level is an ε = 1
+// one-side reachability backbone (the vertex-cover construction of
+// Example 4.1). Building HL with Epsilon = 1 therefore exercises exactly
+// the structural distinction (vertex cover vs ε = 2 backbone) whose effect
+// the paper's tables measure.
+package tflabel
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TF is the TF-label reachability oracle.
+type TF struct {
+	hl *core.HL
+}
+
+// Options configures TF-label construction.
+type Options struct {
+	// CoreLimit stops the folding hierarchy at this core size (default
+	// matches HL's default).
+	CoreLimit int
+	// MaxLevels bounds the folding depth.
+	MaxLevels int
+}
+
+// Build constructs the TF-label oracle for DAG g.
+func Build(g *graph.Graph, opts Options) (*TF, error) {
+	hl, err := core.BuildHL(g, core.HLOptions{
+		Epsilon:   1,
+		CoreLimit: opts.CoreLimit,
+		MaxLevels: opts.MaxLevels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TF{hl: hl}, nil
+}
+
+// Name implements index.Index.
+func (t *TF) Name() string { return "TF" }
+
+// Reachable answers u -> v by label intersection.
+func (t *TF) Reachable(u, v uint32) bool { return t.hl.Reachable(u, v) }
+
+// SizeInts returns the total label size in 32-bit integers.
+func (t *TF) SizeInts() int64 { return t.hl.SizeInts() }
+
+// Levels reports the folding-hierarchy height.
+func (t *TF) Levels() int { return t.hl.Levels() }

@@ -1,0 +1,50 @@
+package tflabel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/testutil"
+)
+
+func TestTFExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(43) {
+		tf, err := Build(g, Options{CoreLimit: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, tf)
+	}
+}
+
+func TestTFBuildsFoldingHierarchy(t *testing.T) {
+	g := gen.TreeDAG(3000, 0.1, 0, 2)
+	tf, err := Build(g, Options{CoreLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Levels() < 2 {
+		t.Errorf("no folding hierarchy: %d levels", tf.Levels())
+	}
+	testutil.CheckRandom(t, "tree3k", g, tf, 500, 3)
+}
+
+// TestTFVsHL2LabelSizes reflects the paper's Figure 3 observation: the
+// ε = 2 backbone hierarchy (HL) tends to produce labels no larger than the
+// ε = 1 folding hierarchy (TF) — allow generous slack, just guard against
+// inversion by a large factor.
+func TestTFVsHL2LabelSizes(t *testing.T) {
+	g := gen.CitationDAG(1000, 3, 0.5, 7)
+	tf, err := Build(g, Options{CoreLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := core.BuildHL(g, core.HLOptions{Epsilon: 2, CoreLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.SizeInts() > 3*tf.SizeInts() {
+		t.Errorf("HL labels (%d) much larger than TF labels (%d)", hl.SizeInts(), tf.SizeInts())
+	}
+}

@@ -1,0 +1,122 @@
+// Package treecover implements Agrawal, Borgida & Jagadish's optimal tree
+// cover (SIGMOD 1989) — the tree-interval compression that PathTree [21]
+// improves on and that the paper's related work cites as "interval or tree
+// compression [2]". Included as a documented extension beyond the paper's
+// table columns: it completes the transitive-closure-compression lineage
+// (chain cover → tree cover → path-tree) and serves as an alternative
+// SCARAB inner index.
+//
+// Construction: pick a spanning forest of the DAG (each vertex keeps its
+// first in-neighbor as tree parent), number vertices by tree post-order so
+// every subtree is one contiguous interval, then propagate interval sets
+// bottom-up in reverse topological order:
+//
+//	I(v) = {subtreeInterval(v)} ∪ ⋃_{(v,w)∈E} I(w)
+//
+// merged and deduplicated. u reaches v iff post(v) lies in some interval
+// of I(u). Tree-heavy DAGs compress to almost one interval per vertex;
+// dense DAGs degrade the same way INT does.
+package treecover
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tc"
+)
+
+// TreeCover is the tree-interval reachability index.
+type TreeCover struct {
+	post  []uint32
+	reach []tc.IntervalSet
+}
+
+// Build constructs the tree cover for DAG g.
+func Build(g *graph.Graph) (*TreeCover, error) {
+	order, ok := graph.TopoOrder(g)
+	if !ok {
+		return nil, fmt.Errorf("treecover: input must be a DAG")
+	}
+	n := g.NumVertices()
+
+	// Spanning forest: parent = first in-neighbor in topological order
+	// (any in-neighbor works; first keeps it deterministic).
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	children := make([][]graph.Vertex, n)
+	for _, v := range order {
+		if in := g.In(v); len(in) > 0 {
+			parent[v] = int32(in[0])
+			children[in[0]] = append(children[in[0]], v)
+		}
+	}
+
+	// Tree post-order numbering (iterative DFS over forest roots).
+	post := make([]uint32, n)
+	low := make([]uint32, n) // smallest post number in v's subtree
+	next := uint32(0)
+	type frame struct {
+		v  graph.Vertex
+		ci int
+	}
+	var stack []frame
+	for r := 0; r < n; r++ {
+		if parent[r] != -1 {
+			continue
+		}
+		stack = append(stack[:0], frame{v: graph.Vertex(r)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ci < len(children[f.v]) {
+				c := children[f.v][f.ci]
+				f.ci++
+				stack = append(stack, frame{v: c})
+				continue
+			}
+			// Post-visit: low = own number if leaf, else low of first child.
+			if len(children[f.v]) == 0 {
+				low[f.v] = next
+			} else {
+				low[f.v] = low[children[f.v][0]]
+			}
+			post[f.v] = next
+			next++
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	// Reverse-topological interval propagation.
+	idx := &TreeCover{post: post, reach: make([]tc.IntervalSet, n)}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		sets := make([]tc.IntervalSet, 0, g.OutDegree(v)+1)
+		sets = append(sets, tc.IntervalSet{{Lo: low[v], Hi: post[v]}})
+		for _, w := range g.Out(v) {
+			sets = append(sets, idx.reach[w])
+		}
+		idx.reach[v] = tc.MergeIntervalSets(sets...)
+	}
+	return idx, nil
+}
+
+// Name implements index.Index.
+func (t *TreeCover) Name() string { return "TCOV" }
+
+// Reachable reports u -> v by binary search of post(v) in I(u).
+func (t *TreeCover) Reachable(u, v uint32) bool {
+	if u == v {
+		return true
+	}
+	return t.reach[u].Contains(t.post[v])
+}
+
+// SizeInts counts two integers per interval plus the numbering array.
+func (t *TreeCover) SizeInts() int64 {
+	total := int64(len(t.post))
+	for _, s := range t.reach {
+		total += s.SizeInts()
+	}
+	return total
+}

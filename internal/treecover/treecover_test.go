@@ -1,0 +1,54 @@
+package treecover
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/intervalidx"
+	"repro/internal/testutil"
+)
+
+func TestTreeCoverExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(67) {
+		tcov, err := Build(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, tcov)
+	}
+}
+
+func TestTreeCoverLinearOnTrees(t *testing.T) {
+	g := gen.ForestDAG(5000, 2, 9)
+	tcov, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a forest the tree cover is exactly one interval per vertex.
+	if tcov.SizeInts() > int64(3*g.NumVertices()) {
+		t.Errorf("forest tree cover %d ints, want <= 3n", tcov.SizeInts())
+	}
+	testutil.CheckRandom(t, "forest5k", g, tcov, 600, 3)
+}
+
+func TestTreeCoverAtMostIntervalIndexOnTreeLike(t *testing.T) {
+	// With a real spanning tree the cover should be no worse than the
+	// plain postorder interval index on tree-like graphs.
+	g := gen.TreeDAG(3000, 0.1, 0, 4)
+	tcov, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := intervalidx.Build(g)
+	if tcov.SizeInts() > 2*iv.SizeInts() {
+		t.Errorf("tree cover (%d) much larger than INT (%d)", tcov.SizeInts(), iv.SizeInts())
+	}
+}
+
+func TestTreeCoverRejectsCycle(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}})
+	if _, err := Build(g); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

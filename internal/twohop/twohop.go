@@ -1,0 +1,227 @@
+// Package twohop implements the classic set-cover based 2-hop labeling of
+// Cohen, Halperin, Kaplan & Zwick (SIAM J. Comput. 2003) — the "2HOP"
+// baseline whose construction cost motivates the paper. The algorithm:
+//
+//  1. materialize the full transitive closure (forward and reverse);
+//  2. repeatedly pick the hop vertex whose bipartite coverage
+//     (ancestors × descendants restricted to uncovered pairs) has the best
+//     covered-pairs-per-label-entry ratio, add it to the labels of exactly
+//     those ancestors/descendants, and mark the pairs covered.
+//
+// The candidate scoring follows the fast-heuristic variants (HOPI;
+// Schenkel et al., EDBT 2004) the paper says its 2HOP implementation uses:
+// per candidate hop the full useful bipartite block is taken at once
+// (rows/columns with at least one uncovered pair) rather than re-running
+// densest-subgraph peeling, with lazy re-evaluation in a priority queue —
+// scores only decrease as pairs get covered, so the lazy-heap greedy is
+// exact with respect to this scoring.
+//
+// Construction deliberately remains Θ(TC): the point of this baseline in
+// the evaluation is precisely that transitive-closure materialization and
+// set-cover selection dominate and prevent scaling (Table 4/7).
+package twohop
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/hoplabel"
+	"repro/internal/tc"
+	"time"
+)
+
+// Options bounds construction so the harness can reproduce the paper's
+// "—" entries instead of thrashing.
+type Options struct {
+	// MaxVertices refuses graphs larger than this (0 = 100_000).
+	MaxVertices int
+	// MaxTCPairs refuses closures larger than this many pairs
+	// (0 = 200 million), estimated before materialization.
+	MaxTCPairs int64
+	// MaxTime aborts the greedy loop after this wall-clock budget — the
+	// scaled-down analogue of the paper's 24-hour construction limit
+	// (0 = unlimited).
+	MaxTime time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxVertices == 0 {
+		o.MaxVertices = 100_000
+	}
+	if o.MaxTCPairs == 0 {
+		o.MaxTCPairs = 200_000_000
+	}
+	return o
+}
+
+// ErrTimeout reports that greedy selection exceeded Options.MaxTime.
+var ErrTimeout = fmt.Errorf("twohop: construction exceeded time budget")
+
+// TwoHop is the set-cover 2-hop labeling index.
+type TwoHop struct {
+	labeling *hoplabel.Labeling
+}
+
+// ErrTooLarge reports that the input exceeded the construction budget —
+// the equivalent of the paper's 24-hour/32GB "—" table entries.
+var ErrTooLarge = fmt.Errorf("twohop: input exceeds construction budget")
+
+// Build constructs the 2HOP index for DAG g.
+func Build(g *graph.Graph, opts Options) (*TwoHop, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n > opts.MaxVertices {
+		return nil, ErrTooLarge
+	}
+	if n > 2048 { // only estimate when the graph is big enough to matter
+		if est := tc.EstimatePairs(g, 64, 1); est > opts.MaxTCPairs {
+			return nil, ErrTooLarge
+		}
+	}
+	if !graph.IsDAG(g) {
+		return nil, fmt.Errorf("twohop: input must be a DAG")
+	}
+
+	closure := tc.Closure(g)         // closure[u] ∋ v iff u→v (incl. self)
+	rclosure := tc.ReverseClosure(g) // rclosure[v] ∋ u iff u→v (incl. self)
+
+	// uncov[u] = descendants w (u≠w) with pair (u,w) not yet covered.
+	uncov := make([]*bitset.Bitset, n)
+	var remaining int64
+	for u := 0; u < n; u++ {
+		b := closure[u].Clone()
+		b.Clear(u)
+		uncov[u] = b
+		remaining += int64(b.Count())
+	}
+
+	builder := hoplabel.NewBuilder(n)
+	// Every vertex records itself (covers the self pairs; distinct pairs
+	// remain for the greedy below).
+	for v := 0; v < n; v++ {
+		builder.AddOut(uint32(v), uint32(v))
+		builder.AddIn(uint32(v), uint32(v))
+	}
+
+	scratch := bitset.New(n)
+	h := make(scoreHeap, 0, n)
+	// Seed the heap with cheap optimistic scores (ancestors × descendants
+	// count products) instead of exact coverage — the lazy loop below
+	// recomputes the exact score on pop, so the seed only orders the first
+	// evaluations. This keeps heap initialization O(n) instead of
+	// O(n · |TC|/64).
+	for v := 0; v < n; v++ {
+		anc := int64(rclosure[v].Count())
+		desc := int64(closure[v].Count())
+		if anc == 0 || desc == 0 {
+			continue
+		}
+		heap.Push(&h, hopScore{v: v, benefit: anc * desc, cost: anc + desc})
+	}
+
+	start := time.Now()
+	iter := 0
+	for remaining > 0 && h.Len() > 0 {
+		iter++
+		if opts.MaxTime > 0 && iter%64 == 0 && time.Since(start) > opts.MaxTime {
+			return nil, ErrTimeout
+		}
+		top := heap.Pop(&h).(hopScore)
+		cur := score(top.v, closure, rclosure, uncov, scratch)
+		if cur.benefit <= 0 {
+			continue
+		}
+		if h.Len() > 0 && cur.ratio() < h[0].ratio() {
+			heap.Push(&h, cur) // stale: re-queue with the fresh score
+			continue
+		}
+		remaining -= apply(top.v, closure, rclosure, uncov, builder)
+	}
+	if remaining != 0 {
+		// Cannot happen: every pair (u,w) is coverable by hop w. Guard the
+		// invariant loudly rather than returning an incomplete labeling.
+		return nil, fmt.Errorf("twohop: greedy terminated with %d uncovered pairs", remaining)
+	}
+	return &TwoHop{labeling: builder.Freeze()}, nil
+}
+
+// hopScore is a lazy-heap entry: candidate hop v covering benefit uncovered
+// pairs at a label cost of cost entries.
+type hopScore struct {
+	v       int
+	benefit int64
+	cost    int64
+}
+
+func (s hopScore) ratio() float64 {
+	if s.cost == 0 {
+		return 0
+	}
+	return float64(s.benefit) / float64(s.cost)
+}
+
+type scoreHeap []hopScore
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i].ratio() > h[j].ratio() }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(hopScore)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// score evaluates candidate hop v: benefit = uncovered pairs routable
+// through v; cost = label entries needed (rows A' = ancestors of v with ≥1
+// uncovered pair through v, plus columns B' = union of their uncovered
+// descendants through v). scratch must be an n-capacity bitset; it is
+// reset here.
+func score(v int, closure, rclosure, uncov []*bitset.Bitset, scratch *bitset.Bitset) hopScore {
+	scratch.Reset()
+	var rows, benefit int64
+	rclosure[v].ForEach(func(a int) {
+		if c := bitset.CountAnd(uncov[a], closure[v]); c > 0 {
+			rows++
+			benefit += int64(c)
+			scratch.OrAnd(uncov[a], closure[v])
+		}
+	})
+	cols := int64(scratch.Count())
+	return hopScore{v: v, benefit: benefit, cost: rows + cols}
+}
+
+// apply commits hop v: adds v to Lout of every useful ancestor and Lin of
+// every useful descendant, marks the pairs covered, and returns how many
+// pairs were newly covered.
+func apply(v int, closure, rclosure, uncov []*bitset.Bitset, builder *hoplabel.Builder) int64 {
+	colSet := bitset.New(closure[v].Len())
+	var covered int64
+	rclosure[v].ForEach(func(a int) {
+		if c := bitset.CountAnd(uncov[a], closure[v]); c > 0 {
+			covered += int64(c)
+			colSet.OrAnd(uncov[a], closure[v])
+			builder.AddOut(uint32(a), uint32(v))
+			// The pairs (a, w) for w ∈ uncov[a] ∩ TC(v) now have common
+			// hop v (v joins Lin(w) below for exactly those w).
+			uncov[a].AndNot(closure[v])
+		}
+	})
+	colSet.ForEach(func(w int) { builder.AddIn(uint32(w), uint32(v)) })
+	return covered
+}
+
+// Name implements index.Index.
+func (t *TwoHop) Name() string { return "2HOP" }
+
+// Reachable answers u -> v by label intersection.
+func (t *TwoHop) Reachable(u, v uint32) bool { return t.labeling.Reachable(u, v) }
+
+// SizeInts returns the total label size in 32-bit integers.
+func (t *TwoHop) SizeInts() int64 { return t.labeling.SizeInts() }
+
+// Labeling exposes the underlying labeling (hops are vertex IDs).
+func (t *TwoHop) Labeling() *hoplabel.Labeling { return t.labeling }

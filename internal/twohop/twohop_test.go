@@ -1,0 +1,53 @@
+package twohop
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestTwoHopExhaustive(t *testing.T) {
+	for name, g := range testutil.Families(47) {
+		th, err := Build(g, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckExhaustive(t, name, g, th)
+	}
+}
+
+func TestTwoHopBudgetGuards(t *testing.T) {
+	g := gen.UniformDAG(100, 250, 1)
+	if _, err := Build(g, Options{MaxVertices: 50}); err != ErrTooLarge {
+		t.Fatalf("vertex budget not enforced: %v", err)
+	}
+	// A dense-enough closure on a >2048-vertex graph must trip the pair
+	// estimate guard.
+	big := gen.CitationDAG(3000, 5, 0.6, 2)
+	if _, err := Build(big, Options{MaxTCPairs: 1000}); err != ErrTooLarge {
+		t.Fatalf("pair budget not enforced: %v", err)
+	}
+}
+
+func TestTwoHopRejectsCycle(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]graph.Vertex{{0, 1}, {1, 0}})
+	if _, err := Build(g, Options{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestTwoHopLabelSizeSane(t *testing.T) {
+	// The greedy should produce labels far smaller than the closure itself
+	// on tree-like graphs.
+	g := gen.TreeDAG(800, 0.1, 0, 4)
+	th, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.SizeInts() > int64(40*g.NumVertices()) {
+		t.Errorf("2HOP labels implausibly large: %d ints for n=%d", th.SizeInts(), g.NumVertices())
+	}
+	testutil.CheckRandom(t, "tree800", g, th, 500, 5)
+}

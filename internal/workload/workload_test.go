@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+func TestEqualWorkloadBalance(t *testing.T) {
+	g := gen.CitationDAG(2000, 3, 0.5, 7)
+	w, err := Generate(g, Equal, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2000 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Verify the claimed positive count against ground truth.
+	bfs := search.NewBFS(g)
+	positives := w.Run(bfs)
+	if positives < w.Len()*35/100 || positives > w.Len()*65/100 {
+		t.Errorf("equal workload has %d/%d positives; want near half", positives, w.Len())
+	}
+	if w.Positive < 0 {
+		t.Error("equal workload should know its positive count")
+	}
+}
+
+func TestEqualWorkloadPositivesAreReachable(t *testing.T) {
+	g := gen.TreeDAG(500, 0.1, 0, 3)
+	w, err := Generate(g, Equal, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pairs the generator counted as positive must actually be
+	// reachable; recount via BFS and compare totals.
+	bfs := search.NewBFS(g)
+	got := w.Run(bfs)
+	if got < w.Positive*9/10 {
+		t.Errorf("ground-truth positives %d far below generator count %d", got, w.Positive)
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	g := gen.UniformDAG(300, 800, 4)
+	w, err := Generate(g, Random, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1000 || w.Positive != -1 {
+		t.Fatalf("random workload: len=%d positive=%d", w.Len(), w.Positive)
+	}
+	for i := range w.U {
+		if int(w.U[i]) >= g.NumVertices() || int(w.V[i]) >= g.NumVertices() {
+			t.Fatal("query vertex out of range")
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	g := gen.UniformDAG(200, 500, 5)
+	a, _ := Generate(g, Equal, 500, 9)
+	b, _ := Generate(g, Equal, 500, 9)
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c, _ := Generate(g, Equal, 500, 10)
+	same := true
+	for i := range a.U {
+		if a.U[i] != c.U[i] || a.V[i] != c.V[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestWorkloadDefaultSize(t *testing.T) {
+	g := gen.UniformDAG(100, 300, 6)
+	w, err := Generate(g, Random, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != DefaultQueries {
+		t.Fatalf("default size = %d, want %d", w.Len(), DefaultQueries)
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	tiny := graph.NewBuilder(1).MustBuild()
+	if _, err := Generate(tiny, Equal, 10, 1); err == nil {
+		t.Error("1-vertex graph accepted")
+	}
+	g := gen.UniformDAG(50, 100, 1)
+	if _, err := Generate(g, Kind("bogus"), 10, 1); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestEqualWorkloadOnEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(50).MustBuild()
+	w, err := Generate(g, Equal, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 100 {
+		t.Fatalf("padded workload len = %d", w.Len())
+	}
+	if w.Positive != 0 {
+		t.Errorf("edgeless graph claims %d positives", w.Positive)
+	}
+}

@@ -1,0 +1,215 @@
+package reach
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/hoplabel"
+	"repro/internal/index"
+	"repro/internal/intervalidx"
+	"repro/internal/kreach"
+	"repro/internal/pathtree"
+	"repro/internal/plandmark"
+	"repro/internal/pwahidx"
+	"repro/internal/scarab"
+	"repro/internal/search"
+	"repro/internal/tflabel"
+	"repro/internal/treecover"
+	"repro/internal/twohop"
+)
+
+// Method selects a reachability index algorithm.
+type Method string
+
+// The paper's contribution methods.
+const (
+	// MethodDL is Distribution-Labeling (§5) — the recommended default:
+	// fastest construction, smallest labels, microsecond queries.
+	MethodDL Method = "DL"
+	// MethodHL is Hierarchical-Labeling (§4), built on the recursive
+	// reachability-backbone hierarchy.
+	MethodHL Method = "HL"
+)
+
+// Baseline methods from the paper's evaluation.
+const (
+	// MethodGRAIL is the random-interval online-search index.
+	MethodGRAIL Method = "GRAIL"
+	// MethodInterval is Nuutila-style interval TC compression.
+	MethodInterval Method = "INT"
+	// MethodPWAH is PWAH-8 compressed-bitvector TC.
+	MethodPWAH Method = "PW8"
+	// MethodPathTree is path-decomposition TC compression.
+	MethodPathTree Method = "PT"
+	// MethodKReach is vertex-cover based K-Reach (k = ∞).
+	MethodKReach Method = "KR"
+	// Method2Hop is the classic set-cover 2-hop labeling.
+	Method2Hop Method = "2HOP"
+	// MethodTFLabel is TF-label (HL with ε = 1).
+	MethodTFLabel Method = "TF"
+	// MethodPrunedLandmark is pruned landmark distance labeling.
+	MethodPrunedLandmark Method = "PL"
+	// MethodScarabGRAIL is GRAIL built on the ε = 2 backbone (GL*).
+	MethodScarabGRAIL Method = "GL*"
+	// MethodScarabPathTree is PathTree on the backbone (PT*).
+	MethodScarabPathTree Method = "PT*"
+	// MethodBFS is index-free online breadth-first search.
+	MethodBFS Method = "BFS"
+	// MethodBiBFS is index-free bidirectional search.
+	MethodBiBFS Method = "BiBFS"
+	// MethodTreeCover is Agrawal's optimal tree cover (SIGMOD 1989), the
+	// tree-interval ancestor of PathTree — an extension beyond the paper's
+	// table columns.
+	MethodTreeCover Method = "TCOV"
+)
+
+// Options tunes index construction. The zero value is the paper's
+// configuration for every method.
+type Options struct {
+	// Epsilon is HL's backbone locality threshold (default 2).
+	Epsilon int
+	// CoreLimit is HL/TF's decomposition stop size (default 1024).
+	CoreLimit int
+	// Seed drives randomized construction (GRAIL) deterministically.
+	Seed int64
+	// Traversals is GRAIL's interval count k (default 5).
+	Traversals int
+}
+
+// Oracle answers reachability queries on a Graph through a built index.
+type Oracle struct {
+	g   *Graph
+	idx index.Index
+}
+
+// Build constructs a reachability oracle over g with the chosen method.
+func Build(g *Graph, m Method, opts Options) (*Oracle, error) {
+	idx, err := buildIndex(g, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{g: g, idx: idx}, nil
+}
+
+func buildIndex(g *Graph, m Method, opts Options) (index.Index, error) {
+	dag := g.dag
+	switch m {
+	case MethodDL:
+		return core.BuildDL(dag, core.DLOptions{Seed: opts.Seed})
+	case MethodHL:
+		return core.BuildHL(dag, core.HLOptions{
+			Epsilon: opts.Epsilon, CoreLimit: opts.CoreLimit,
+		})
+	case MethodGRAIL:
+		return grail.Build(dag, grail.Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
+	case MethodInterval:
+		return intervalidx.Build(dag), nil
+	case MethodPWAH:
+		return pwahidx.Build(dag), nil
+	case MethodPathTree:
+		return pathtree.Build(dag, pathtree.Options{})
+	case MethodKReach:
+		return kreach.BuildWithOptions(dag, kreach.Options{})
+	case Method2Hop:
+		return twohop.Build(dag, twohop.Options{})
+	case MethodTFLabel:
+		return tflabel.Build(dag, tflabel.Options{CoreLimit: opts.CoreLimit})
+	case MethodPrunedLandmark:
+		return plandmark.Build(dag)
+	case MethodScarabGRAIL:
+		return scarab.Build(dag, "GL*", func(star *graph.Graph) (index.Index, error) {
+			return grail.Build(star, grail.Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
+		})
+	case MethodScarabPathTree:
+		return scarab.Build(dag, "PT*", func(star *graph.Graph) (index.Index, error) {
+			return pathtree.Build(star, pathtree.Options{})
+		})
+	case MethodBFS:
+		return search.NewBFS(dag), nil
+	case MethodBiBFS:
+		return search.NewBidirectional(dag), nil
+	case MethodTreeCover:
+		return treecover.Build(dag)
+	default:
+		return nil, fmt.Errorf("reach: unknown method %q", m)
+	}
+}
+
+// Methods lists every available method identifier.
+func Methods() []Method {
+	return []Method{
+		MethodDL, MethodHL, MethodGRAIL, MethodInterval, MethodPWAH,
+		MethodPathTree, MethodKReach, Method2Hop, MethodTFLabel,
+		MethodPrunedLandmark, MethodScarabGRAIL, MethodScarabPathTree,
+		MethodBFS, MethodBiBFS, MethodTreeCover,
+	}
+}
+
+// Reachable reports whether original vertex u reaches original vertex v.
+func (o *Oracle) Reachable(u, v uint32) bool {
+	cu, cv := o.g.comp[u], o.g.comp[v]
+	if cu == cv {
+		return true // same SCC (or same vertex)
+	}
+	return o.idx.Reachable(uint32(cu), uint32(cv))
+}
+
+// Method returns the index method tag (e.g. "DL").
+func (o *Oracle) Method() string { return o.idx.Name() }
+
+// IndexSizeInts returns the index size in 32-bit integers — the metric of
+// the paper's Figures 3 and 4.
+func (o *Oracle) IndexSizeInts() int64 { return o.idx.SizeInts() }
+
+// labeled is implemented by the hop-labeling indexes (DL, HL, TF, 2HOP).
+type labeled interface {
+	Labeling() *hoplabel.Labeling
+}
+
+// WriteLabeling serializes the oracle's hop labeling, if the method is a
+// labeling method (DL, HL, 2HOP); other methods return an error.
+func (o *Oracle) WriteLabeling(w io.Writer) error {
+	l, ok := o.idx.(labeled)
+	if !ok {
+		return fmt.Errorf("reach: method %s has no serializable labeling", o.idx.Name())
+	}
+	return l.Labeling().Write(w)
+}
+
+// LabelStats returns hop-label statistics for labeling methods.
+func (o *Oracle) LabelStats() (hoplabel.Stats, error) {
+	l, ok := o.idx.(labeled)
+	if !ok {
+		return hoplabel.Stats{}, fmt.Errorf("reach: method %s has no labeling", o.idx.Name())
+	}
+	return l.Labeling().ComputeStats(), nil
+}
+
+// loadedIndex adapts a deserialized labeling to the index interface.
+type loadedIndex struct {
+	l *hoplabel.Labeling
+}
+
+func (x *loadedIndex) Name() string                 { return "loaded" }
+func (x *loadedIndex) Reachable(u, v uint32) bool   { return x.l.Reachable(u, v) }
+func (x *loadedIndex) SizeInts() int64              { return x.l.SizeInts() }
+func (x *loadedIndex) Labeling() *hoplabel.Labeling { return x.l }
+
+// LoadOracle restores an oracle from a labeling previously serialized with
+// WriteLabeling. The graph must be the same one (same vertex count after
+// condensation) the labeling was built for; hop labelings carry no graph
+// data of their own.
+func LoadOracle(g *Graph, r io.Reader) (*Oracle, error) {
+	l, err := hoplabel.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if l.NumVertices() != g.DAGVertices() {
+		return nil, fmt.Errorf("reach: labeling has %d vertices but graph's DAG has %d",
+			l.NumVertices(), g.DAGVertices())
+	}
+	return &Oracle{g: g, idx: &loadedIndex{l: l}}, nil
+}

@@ -1,0 +1,120 @@
+package reach
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestLoadOracleRoundTrip(t *testing.T) {
+	raw := gen.CitationDAG(500, 3, 0.5, 17)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodDL, MethodHL, Method2Hop} {
+		built, err := Build(g, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := built.WriteLabeling(&buf); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		loaded, err := LoadOracle(g, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if loaded.IndexSizeInts() != built.IndexSizeInts() {
+			t.Fatalf("%s: size changed across serialization", m)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for q := 0; q < 2000; q++ {
+			u := uint32(rng.Intn(raw.NumVertices()))
+			v := uint32(rng.Intn(raw.NumVertices()))
+			if built.Reachable(u, v) != loaded.Reachable(u, v) {
+				t.Fatalf("%s: loaded oracle disagrees on (%d,%d)", m, u, v)
+			}
+		}
+	}
+}
+
+func TestLoadOracleRejectsMismatchedGraph(t *testing.T) {
+	gA, _ := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	gB, _ := NewGraph(9, [][2]uint32{{0, 1}})
+	o, err := Build(gA, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteLabeling(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOracle(gB, &buf); err == nil {
+		t.Fatal("labeling accepted for a different graph")
+	}
+}
+
+// TestConcurrentQueries verifies that labeling-based oracles are safe for
+// parallel read-only queries (they hold no mutable query state, unlike the
+// online-search methods).
+func TestConcurrentQueries(t *testing.T) {
+	raw := gen.TreeDAG(2000, 0.1, 0, 23)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth single-threaded first.
+	vst := graph.NewVisitor(raw.NumVertices())
+	type q struct {
+		u, v uint32
+		want bool
+	}
+	rng := rand.New(rand.NewSource(4))
+	queries := make([]q, 4000)
+	for i := range queries {
+		u := uint32(rng.Intn(raw.NumVertices()))
+		v := uint32(rng.Intn(raw.NumVertices()))
+		queries[i] = q{u, v, vst.Reachable(raw, graph.Vertex(u), graph.Vertex(v))}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < len(queries); i += 8 {
+				if o.Reachable(queries[i].u, queries[i].v) != queries[i].want {
+					select {
+					case errCh <- nil:
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-errCh:
+		t.Fatal("concurrent query returned a wrong answer")
+	default:
+	}
+}

@@ -1,0 +1,237 @@
+package reach
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// cyclicFixture returns a graph with two 3-cycles bridged by an edge, plus
+// a tail: {0,1,2} -> {3,4,5} -> 6.
+func cyclicFixture(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(7, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{2, 3}, {5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphCondensesCycles(t *testing.T) {
+	g := cyclicFixture(t)
+	if g.NumVertices() != 7 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.DAGVertices() != 3 {
+		t.Fatalf("DAGVertices = %d, want 3 (two SCCs + tail)", g.DAGVertices())
+	}
+	if !g.SameComponent(0, 2) || g.SameComponent(0, 3) {
+		t.Error("SameComponent wrong")
+	}
+}
+
+func TestOracleOnCyclicGraphAllMethods(t *testing.T) {
+	g := cyclicFixture(t)
+	truth := func(u, v uint32) bool {
+		// All of 0-6 reach forward: {0,1,2} reach everything; {3,4,5}
+		// reach {3,4,5,6}; 6 reaches only itself.
+		group := func(x uint32) int {
+			switch {
+			case x <= 2:
+				return 0
+			case x <= 5:
+				return 1
+			default:
+				return 2
+			}
+		}
+		return group(u) <= group(v)
+	}
+	for _, m := range Methods() {
+		o, err := Build(g, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for u := uint32(0); u < 7; u++ {
+			for v := uint32(0); v < 7; v++ {
+				if got := o.Reachable(u, v); got != truth(u, v) {
+					t.Fatalf("%s: Reachable(%d,%d) = %v, want %v", m, u, v, got, truth(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnknownMethod(t *testing.T) {
+	g := cyclicFixture(t)
+	if _, err := Build(g, Method("nope"), Options{}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestNewGraphErrors(t *testing.T) {
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewGraph(2, [][2]uint32{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	// Self loops are dropped, not errors.
+	g, err := NewGraph(2, [][2]uint32{{0, 0}, {0, 1}})
+	if err != nil || g.DAGEdges() != 1 {
+		t.Errorf("self-loop handling: %v, edges=%d", err, g.DAGEdges())
+	}
+}
+
+func TestReadGraph(t *testing.T) {
+	in := strings.NewReader("# comment\n10 20\n20 30\n30 10\n30 40\n")
+	g, orig, err := ReadGraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) != 4 {
+		t.Fatalf("orig = %v", orig)
+	}
+	if g.DAGVertices() != 2 {
+		t.Fatalf("DAGVertices = %d, want 2 (3-cycle + sink)", g.DAGVertices())
+	}
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices 10,20,30 densify to 0,1,2; 40 to 3. All reach 40's vertex.
+	if !o.Reachable(0, 3) || !o.Reachable(1, 0) || o.Reachable(3, 0) {
+		t.Error("reachability through condensed cycle wrong")
+	}
+}
+
+func TestOracleAgainstBFSRandomized(t *testing.T) {
+	// Random digraph WITH cycles: exercises the full condensation path for
+	// the two contribution methods.
+	rng := rand.New(rand.NewSource(11))
+	n := 150
+	var edges [][2]uint32
+	for i := 0; i < 450; i++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if u != v {
+			edges = append(edges, [2]uint32{u, v})
+		}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth on the raw digraph.
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	raw := b.MustBuild()
+	vst := graph.NewVisitor(n)
+
+	for _, m := range []Method{MethodDL, MethodHL} {
+		o, err := Build(g, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 3000; q++ {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			want := vst.Reachable(raw, u, v)
+			if got := o.Reachable(u, v); got != want {
+				t.Fatalf("%s: Reachable(%d,%d) = %v, want %v", m, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestOracleMetadata(t *testing.T) {
+	g := cyclicFixture(t)
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Method() != "DL" {
+		t.Errorf("Method = %q", o.Method())
+	}
+	if o.IndexSizeInts() <= 0 {
+		t.Errorf("IndexSizeInts = %d", o.IndexSizeInts())
+	}
+	stats, err := o.LabelStats()
+	if err != nil || stats.TotalOut == 0 {
+		t.Errorf("LabelStats: %+v, %v", stats, err)
+	}
+}
+
+func TestWriteLabeling(t *testing.T) {
+	g := cyclicFixture(t)
+	o, err := Build(g, MethodHL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteLabeling(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty serialization")
+	}
+	// Non-labeling methods refuse.
+	bfs, _ := Build(g, MethodBFS, Options{})
+	if err := bfs.WriteLabeling(&buf); err == nil {
+		t.Fatal("BFS oracle serialized a labeling")
+	}
+	if _, err := bfs.LabelStats(); err == nil {
+		t.Fatal("BFS oracle returned label stats")
+	}
+}
+
+func TestDAGAccessors(t *testing.T) {
+	g := cyclicFixture(t)
+	if g.DAG() == nil {
+		t.Fatal("DAG() nil")
+	}
+	if s := g.Stats(); s.Vertices != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if g.MapVertex(0) != g.MapVertex(1) {
+		t.Error("cycle members map to different DAG vertices")
+	}
+}
+
+func TestPublicAPIOnLargerDAG(t *testing.T) {
+	// Acyclic input skips condensation; verify against BFS.
+	raw := gen.CitationDAG(800, 3, 0.5, 13)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DAGVertices() != raw.NumVertices() {
+		t.Fatal("acyclic input should not shrink")
+	}
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst := graph.NewVisitor(raw.NumVertices())
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 2000; q++ {
+		u := uint32(rng.Intn(raw.NumVertices()))
+		v := uint32(rng.Intn(raw.NumVertices()))
+		if got, want := o.Reachable(u, v), vst.Reachable(raw, graph.Vertex(u), graph.Vertex(v)); got != want {
+			t.Fatalf("Reachable(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
