@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	reach "repro"
+)
+
+// loadGen drives a running reachd in a closed loop: each client POSTs a
+// random batch, waits for the answer, and immediately posts the next.
+// Closed-loop throughput is the number later scaling PRs must move.
+type loadGen struct {
+	base     string
+	graph    string // edge-list file to sample real vertex IDs from
+	clients  int
+	batch    int
+	duration time.Duration
+	seed     int64
+}
+
+type statsPayload struct {
+	Graph struct {
+		Vertices int `json:"vertices"`
+	} `json:"graph"`
+	Index struct {
+		Method string `json:"method"`
+	} `json:"index"`
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+}
+
+func (lg *loadGen) fetchStats() (statsPayload, error) {
+	var st statsPayload
+	resp, err := http.Get(lg.base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/v1/stats: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// vertexIDs returns the ID universe to query. reachd's API speaks the
+// edge-list file's original IDs, so with -graph the exact IDs are
+// sampled from the file; without it, dense 0..n-1 is assumed, which
+// only matches files whose IDs are already dense.
+func (lg *loadGen) vertexIDs(vertices int) ([]uint64, error) {
+	if lg.graph == "" {
+		fmt.Println("note: no -graph given; assuming vertex IDs are dense 0..n-1")
+		ids := make([]uint64, vertices)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		return ids, nil
+	}
+	f, err := os.Open(lg.graph)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, orig, err := reach.ReadGraph(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(orig) != vertices {
+		return nil, fmt.Errorf("%s has %d vertices but the server reports %d — different graph?",
+			lg.graph, len(orig), vertices)
+	}
+	ids := make([]uint64, len(orig))
+	for i, raw := range orig {
+		ids[i] = uint64(raw)
+	}
+	return ids, nil
+}
+
+func (lg *loadGen) run() error {
+	st, err := lg.fetchStats()
+	if err != nil {
+		return fmt.Errorf("probing server: %w", err)
+	}
+	if st.Graph.Vertices == 0 {
+		return fmt.Errorf("server reports an empty graph")
+	}
+	ids, err := lg.vertexIDs(st.Graph.Vertices)
+	if err != nil {
+		return err
+	}
+	// Sampled IDs must name real vertices; if the server rejects one, the
+	// assumed ID space is wrong (pass -graph) and a run would measure
+	// only the unknown-vertex short-circuit. Probe both ends of the
+	// assumed range: a sparse ID set can contain 0 yet not n-1.
+	for _, id := range []uint64{ids[0], ids[len(ids)-1]} {
+		probe, err := http.Get(fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", lg.base, id, id))
+		if err != nil {
+			return fmt.Errorf("probing sampled vertex ID: %w", err)
+		}
+		io.Copy(io.Discard, probe.Body)
+		probe.Body.Close()
+		if probe.StatusCode != http.StatusOK {
+			return fmt.Errorf("server rejected sampled vertex ID %d (HTTP %d): the graph's IDs are not dense — pass -graph with the served edge-list file", id, probe.StatusCode)
+		}
+	}
+	fmt.Printf("load-generating against %s: method=%s vertices=%d clients=%d batch=%d duration=%s\n",
+		lg.base, st.Index.Method, st.Graph.Vertices, lg.clients, lg.batch, lg.duration)
+
+	var (
+		queries  atomic.Int64
+		requests atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	deadline := time.Now().Add(lg.duration)
+	start := time.Now()
+	for c := 0; c < lg.clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			client := &http.Client{Timeout: 30 * time.Second}
+			pairs := make([][2]uint64, lg.batch)
+			for time.Now().Before(deadline) {
+				for i := range pairs {
+					pairs[i] = [2]uint64{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]}
+				}
+				payload, _ := json.Marshal(struct {
+					Pairs [][2]uint64 `json:"pairs"`
+				}{pairs})
+				resp, err := client.Post(lg.base+"/v1/batch", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					failures.Add(1)
+					// Back off instead of busy-looping on a dead server.
+					time.Sleep(100 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					queries.Add(int64(lg.batch))
+					requests.Add(1)
+				} else {
+					failures.Add(1)
+				}
+				// Drain before closing so the transport can reuse the
+				// connection; otherwise every request pays a TCP handshake.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(lg.seed + int64(c))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("done: %d requests, %d queries, %d failures in %s\n",
+		requests.Load(), queries.Load(), failures.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f queries/sec (%.1f requests/sec)\n",
+		float64(queries.Load())/elapsed.Seconds(),
+		float64(requests.Load())/elapsed.Seconds())
+	// Report this run's cache behaviour, not the daemon's lifetime
+	// counters: diff against the snapshot taken before the run.
+	if end, err := lg.fetchStats(); err == nil {
+		hits := end.Cache.Hits - st.Cache.Hits
+		misses := end.Cache.Misses - st.Cache.Misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("server cache this run: %d hits, %d misses, hit rate %.1f%%\n",
+			hits, misses, 100*rate)
+	}
+	if failures.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failures.Load())
+	}
+	return nil
+}

@@ -8,6 +8,11 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig3 fig4
 // small (tables 2-4 + fig3), large (tables 5-7 + fig4), or all.
+//
+// With -serve it instead load-tests a running reachd daemon in a closed
+// loop and reports end-to-end queries/sec:
+//
+//	reachbench -serve http://localhost:8080 -graph g.txt [-clients 8] [-batch 512] [-duration 10s]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
@@ -29,8 +35,29 @@ func main() {
 		methods    = flag.String("methods", "", "comma-separated method subset (default: all 12)")
 		seed       = flag.Int64("seed", 1, "workload and randomized-build seed")
 		verbose    = flag.Bool("v", false, "log per-dataset progress to stderr")
+		serve      = flag.String("serve", "", "load-test a running reachd at this base URL instead of running experiments")
+		graphFile  = flag.String("graph", "", "edge-list file the server loaded, to sample real vertex IDs (with -serve)")
+		clients    = flag.Int("clients", 8, "concurrent load-generator clients (with -serve)")
+		batch      = flag.Int("batch", 512, "pairs per /v1/batch request (with -serve)")
+		duration   = flag.Duration("duration", 10*time.Second, "load-generation time (with -serve)")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		lg := &loadGen{
+			base:     strings.TrimRight(*serve, "/"),
+			graph:    *graphFile,
+			clients:  *clients,
+			batch:    *batch,
+			duration: *duration,
+			seed:     *seed,
+		}
+		if err := lg.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "reachbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	if *methods != "" {

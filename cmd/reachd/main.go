@@ -1,0 +1,220 @@
+// Command reachd serves reachability queries over HTTP: it loads an
+// edge-list graph, builds (or snapshot-loads) a reachability index, and
+// answers single, batch and stats requests through a sharded query cache
+// and a worker pool.
+//
+// Usage:
+//
+//	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot dl.labels]
+//	       [-workers N] [-cache-capacity 1048576] [-cache-shards 64]
+//
+// If -snapshot names an existing file, the labeling is loaded from it and
+// the indexing pass is skipped (labeling methods only: DL, HL, 2HOP);
+// otherwise the index is built and, when -snapshot is set, written there
+// so the next start is instant.
+//
+// Endpoints:
+//
+//	GET  /v1/healthz
+//	GET  /v1/reachable?u=U&v=V
+//	POST /v1/batch          {"pairs": [[u,v], ...]}
+//	GET  /v1/stats
+//
+// Vertex IDs in queries are the original IDs from the edge-list file —
+// the same IDs reachcli answers with for the same graph.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	reach "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (required)")
+		method    = flag.String("method", "DL", "index method (DL, HL, GRAIL, ...)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		snapshot  = flag.String("snapshot", "", "labeling snapshot path: load if present, else build and save")
+		workers   = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
+		cacheCap  = flag.Int("cache-capacity", server.DefaultCacheCapacity, "query cache entries (negative disables)")
+		shards    = flag.Int("cache-shards", server.DefaultCacheShards, "query cache shard count")
+		maxBatch  = flag.Int("max-batch", 0, "max pairs per /v1/batch request (default 1<<20)")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *method, *addr, *snapshot, server.Config{
+		Workers:       *workers,
+		CacheShards:   *shards,
+		CacheCapacity: *cacheCap,
+		MaxBatchPairs: *maxBatch,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "reachd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, method, addr, snapshot string, cfg server.Config) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	g, orig, err := reach.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg.OrigIDs = orig // HTTP API speaks the file's own vertex IDs
+	log.Printf("graph: %d vertices (%d after condensation), %d DAG edges",
+		g.NumVertices(), g.DAGVertices(), g.DAGEdges())
+
+	oracle, err := loadOrBuild(g, reach.Method(method), snapshot)
+	if err != nil {
+		return err
+	}
+
+	s := server.New(g, oracle, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s index on %s", oracle.Method(), addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = httpSrv.Shutdown(shutCtx)
+	s.Close()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown timed out")
+	}
+	return err
+}
+
+// snapshotMagic versions reachd's snapshot container: a one-line header
+// carrying a graph fingerprint and the method tag, then the raw labeling.
+// The fingerprint is what lets a restart refuse a snapshot that was built
+// from a different graph — the labeling alone only records a vertex
+// count, and two unrelated graphs can easily share one.
+const snapshotMagic = "reachd-snapshot-v1"
+
+func snapshotHeader(g *reach.Graph, method string) string {
+	return fmt.Sprintf("%s n=%d dagv=%d dage=%d method=%s\n",
+		snapshotMagic, g.NumVertices(), g.DAGVertices(), g.DAGEdges(), method)
+}
+
+// loadSnapshot restores an oracle from a reachd snapshot, verifying the
+// header's graph fingerprint against g.
+func loadSnapshot(g *reach.Graph, f *os.File) (*reach.Oracle, error) {
+	rd := bufio.NewReader(f)
+	header, err := rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	var magic, method string
+	var n, dagv, dage int
+	if _, err := fmt.Sscanf(header, "%s n=%d dagv=%d dage=%d method=%s",
+		&magic, &n, &dagv, &dage, &method); err != nil || magic != snapshotMagic {
+		return nil, fmt.Errorf("not a reachd snapshot (header %q)", strings.TrimSpace(header))
+	}
+	if n != g.NumVertices() || dagv != g.DAGVertices() || dage != g.DAGEdges() {
+		return nil, fmt.Errorf("snapshot was built from a different graph (%d/%d/%d vs %d/%d/%d vertices/DAG-vertices/DAG-edges)",
+			n, dagv, dage, g.NumVertices(), g.DAGVertices(), g.DAGEdges())
+	}
+	return reach.LoadOracleNamed(g, rd, method)
+}
+
+// loadOrBuild restores the oracle from an existing snapshot, or builds it
+// and saves the labeling for the next restart.
+func loadOrBuild(g *reach.Graph, method reach.Method, snapshot string) (*reach.Oracle, error) {
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			start := time.Now()
+			oracle, err := loadSnapshot(g, f)
+			f.Close()
+			if err == nil && oracle.Method() != string(method) {
+				err = fmt.Errorf("snapshot holds a %s labeling but -method is %s", oracle.Method(), method)
+			}
+			if err == nil {
+				log.Printf("index: loaded %s snapshot %s (%d ints) in %s",
+					oracle.Method(), snapshot, oracle.IndexSizeInts(), time.Since(start).Round(time.Millisecond))
+				return oracle, nil
+			}
+			// A corrupt or mismatched snapshot must not brick startup:
+			// rebuild (and overwrite it below) instead.
+			log.Printf("warning: snapshot %s unusable (%v); rebuilding index", snapshot, err)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	oracle, err := reach.Build(g, method, reach.Options{})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("index: built %s (%d ints) in %s",
+		oracle.Method(), oracle.IndexSizeInts(), time.Since(start).Round(time.Millisecond))
+	if snapshot != "" {
+		if err := saveSnapshot(g, oracle, snapshot); err != nil {
+			// A failed save must not stop serving; the build already succeeded.
+			log.Printf("warning: saving snapshot %s: %v", snapshot, err)
+		} else {
+			log.Printf("index: saved snapshot to %s", snapshot)
+		}
+	}
+	return oracle, nil
+}
+
+func saveSnapshot(g *reach.Graph, oracle *reach.Oracle, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(snapshotHeader(g, oracle.Method())); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := oracle.WriteLabeling(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush data blocks before the rename so a crash cannot leave a
+	// durable rename pointing at a truncated snapshot.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,123 @@
+package reach
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func genFixture(t *testing.T) *Graph {
+	t.Helper()
+	raw := gen.CitationDAG(400, 3, 0.5, 7)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReachableOutOfRange(t *testing.T) {
+	g, err := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]uint32{{4, 0}, {0, 4}, {4, 4}, {^uint32(0), 1}, {1, ^uint32(0)}} {
+		if o.Reachable(q[0], q[1]) { // must not panic, must answer false
+			t.Errorf("Reachable(%d, %d) = true for out-of-range vertex, want false", q[0], q[1])
+		}
+	}
+	if !o.Reachable(0, 3) {
+		t.Error("in-range query broken by bounds check")
+	}
+}
+
+func TestReachableBatch(t *testing.T) {
+	g := genFixture(t)
+	o, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pairs := make([][2]uint32, 500)
+	n := uint32(g.NumVertices())
+	for i := range pairs {
+		pairs[i] = [2]uint32{rng.Uint32() % n, rng.Uint32() % n}
+	}
+	pairs = append(pairs, [2]uint32{n + 5, 0}) // out of range rides along
+	got := o.ReachableBatch(pairs, nil)
+	if len(got) != len(pairs) {
+		t.Fatalf("batch returned %d results for %d pairs", len(got), len(pairs))
+	}
+	for i, p := range pairs {
+		if got[i] != o.Reachable(p[0], p[1]) {
+			t.Fatalf("batch result %d disagrees with Reachable(%d, %d)", i, p[0], p[1])
+		}
+	}
+	// Reusing a caller-provided slice must not allocate a new one.
+	buf := make([]bool, len(pairs))
+	if got2 := o.ReachableBatch(pairs, buf); &got2[0] != &buf[0] {
+		t.Error("ReachableBatch did not reuse the provided output slice")
+	}
+}
+
+// TestOracleConcurrentHammer drives every method's oracle from many
+// goroutines with mixed positive/negative queries. Run under -race it
+// enforces the package's concurrency guarantee; the answers are also
+// checked against a single-threaded pass.
+func TestOracleConcurrentHammer(t *testing.T) {
+	g := genFixture(t)
+	rng := rand.New(rand.NewSource(23))
+	const queries = 2000
+	pairs := make([][2]uint32, queries)
+	n := uint32(g.NumVertices())
+	for i := range pairs {
+		pairs[i] = [2]uint32{rng.Uint32() % n, rng.Uint32() % n}
+	}
+
+	for _, m := range Methods() {
+		o, err := Build(g, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		want := o.ReachableBatch(pairs, nil)
+
+		const workers = 8
+		var wg sync.WaitGroup
+		errs := make(chan string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker walks the pairs from a different offset so
+				// goroutines overlap on different queries at any instant.
+				for i := 0; i < queries; i++ {
+					j := (i + w*queries/workers) % queries
+					if o.Reachable(pairs[j][0], pairs[j][1]) != want[j] {
+						select {
+						case errs <- string(m):
+						default:
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		if m, bad := <-errs; bad {
+			t.Fatalf("%s: concurrent answer disagrees with single-threaded answer", m)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package grail
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -35,6 +36,12 @@ type Grail struct {
 	// level is the longest-path topological level, used as an extra
 	// negative filter: u→v implies level[u] < level[v].
 	level []int32
+	// pool holds per-query DFS scratch so Reachable is safe for
+	// concurrent use from many goroutines.
+	pool sync.Pool // *grailScratch
+}
+
+type grailScratch struct {
 	vst   *graph.Visitor
 	stack []graph.Vertex
 }
@@ -49,8 +56,9 @@ func Build(g *graph.Graph, opts Options) *Grail {
 	gr := &Grail{
 		g: g, k: k,
 		lo: make([][]uint32, k), hi: make([][]uint32, k),
-		vst:   graph.NewVisitor(n),
-		stack: make([]graph.Vertex, 0, 64),
+	}
+	gr.pool.New = func() any {
+		return &grailScratch{vst: graph.NewVisitor(n), stack: make([]graph.Vertex, 0, 64)}
 	}
 	gr.level, _ = graph.TopoLevels(g)
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -152,7 +160,8 @@ func (gr *Grail) contains(u, v uint32) bool {
 // Name implements index.Index.
 func (gr *Grail) Name() string { return "GRAIL" }
 
-// Reachable answers u -> v with interval pruning plus online DFS.
+// Reachable answers u -> v with interval pruning plus online DFS. Safe
+// for concurrent use.
 func (gr *Grail) Reachable(u, v uint32) bool {
 	if u == v {
 		return true
@@ -165,24 +174,26 @@ func (gr *Grail) Reachable(u, v uint32) bool {
 	}
 	// Pruned DFS: only descend into children whose intervals still contain
 	// v's (and which pass the level filter).
-	gr.vst.Reset()
-	gr.vst.Visit(graph.Vertex(u))
-	gr.stack = append(gr.stack[:0], graph.Vertex(u))
-	for len(gr.stack) > 0 {
-		x := gr.stack[len(gr.stack)-1]
-		gr.stack = gr.stack[:len(gr.stack)-1]
+	s := gr.pool.Get().(*grailScratch)
+	defer gr.pool.Put(s)
+	s.vst.Reset()
+	s.vst.Visit(graph.Vertex(u))
+	s.stack = append(s.stack[:0], graph.Vertex(u))
+	for len(s.stack) > 0 {
+		x := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		for _, w := range gr.g.Out(x) {
 			if uint32(w) == v {
 				return true
 			}
-			if !gr.vst.Visit(w) {
+			if !s.vst.Visit(w) {
 				continue
 			}
 			if gr.level[w] >= gr.level[v] {
 				continue
 			}
 			if gr.contains(uint32(w), v) {
-				gr.stack = append(gr.stack, w)
+				s.stack = append(s.stack, w)
 			}
 		}
 	}

@@ -5,10 +5,12 @@ package index
 
 // Index answers reachability queries over a fixed DAG.
 //
-// Implementations are NOT required to be safe for concurrent queries:
-// online-search style indexes (GRAIL, BFS) keep per-index traversal
-// scratch, mirroring the single-threaded query loops of the paper's
-// evaluation. Wrap with per-goroutine instances for concurrent use.
+// Implementations MUST answer Reachable safely from many goroutines at
+// once: once built, an index is immutable, and any per-query traversal
+// scratch (GRAIL, BFS/DFS/BiBFS, SCARAB) lives in a sync.Pool rather
+// than on the index itself. The serving layer (internal/server, cmd/
+// reachd) relies on this guarantee, and the root package's race-enabled
+// hammer test enforces it for every method.
 type Index interface {
 	// Name is the short method tag used in the paper's tables (e.g. "DL").
 	Name() string

@@ -10,6 +10,7 @@ package scarab
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/backbone"
 	"repro/internal/graph"
@@ -23,9 +24,14 @@ type Scarab struct {
 	inner index.Index
 	name  string
 	eps   int32
-	fwd   *graph.Visitor
-	bwd   *graph.Visitor
-	// scratch buffers for entry/exit collection.
+	// pool holds per-query traversal scratch so Reachable is safe for
+	// concurrent use (the inner index must be too; all in-repo ones are).
+	pool sync.Pool // *scarabScratch
+}
+
+// scarabScratch is the per-query local-BFS state.
+type scarabScratch struct {
+	fwd, bwd       *graph.Visitor
 	entries, exits []int32
 }
 
@@ -49,11 +55,12 @@ func BuildEps(g *graph.Graph, name string, eps int, inner InnerBuilder) (*Scarab
 	if err != nil {
 		return nil, fmt.Errorf("scarab: building inner index: %w", err)
 	}
-	return &Scarab{
-		g: g, bb: bb, inner: in, name: name, eps: int32(eps),
-		fwd: graph.NewVisitor(g.NumVertices()),
-		bwd: graph.NewVisitor(g.NumVertices()),
-	}, nil
+	s := &Scarab{g: g, bb: bb, inner: in, name: name, eps: int32(eps)}
+	n := g.NumVertices()
+	s.pool.New = func() any {
+		return &scarabScratch{fwd: graph.NewVisitor(n), bwd: graph.NewVisitor(n)}
+	}
+	return s, nil
 }
 
 // Name implements index.Index.
@@ -62,37 +69,40 @@ func (s *Scarab) Name() string { return s.name }
 // Reachable answers u -> v: collect u's local outgoing backbone entries
 // and v's local incoming exits with ε-step BFS (answering directly if v or
 // u is seen locally), then probe the inner index for any entry→exit pair.
+// Safe for concurrent use.
 func (s *Scarab) Reachable(u, v uint32) bool {
 	if u == v {
 		return true
 	}
+	sc := s.pool.Get().(*scarabScratch)
+	defer s.pool.Put(sc)
 	found := false
-	s.entries = s.entries[:0]
-	s.fwd.BoundedBFS(s.g, graph.Vertex(u), graph.Forward, s.eps, func(w graph.Vertex, _ int32) {
+	sc.entries = sc.entries[:0]
+	sc.fwd.BoundedBFS(s.g, graph.Vertex(u), graph.Forward, s.eps, func(w graph.Vertex, _ int32) {
 		if uint32(w) == v {
 			found = true
 		}
 		if id := s.bb.LocalID[w]; id >= 0 {
-			s.entries = append(s.entries, id)
+			sc.entries = append(sc.entries, id)
 		}
 	})
 	if found {
 		return true // v is local to u
 	}
-	if len(s.entries) == 0 {
+	if len(sc.entries) == 0 {
 		return false // no backbone entry within ε: all of TC(u) is local
 	}
-	s.exits = s.exits[:0]
-	s.bwd.BoundedBFS(s.g, graph.Vertex(v), graph.Backward, s.eps, func(w graph.Vertex, _ int32) {
+	sc.exits = sc.exits[:0]
+	sc.bwd.BoundedBFS(s.g, graph.Vertex(v), graph.Backward, s.eps, func(w graph.Vertex, _ int32) {
 		if id := s.bb.LocalID[w]; id >= 0 {
-			s.exits = append(s.exits, id)
+			sc.exits = append(sc.exits, id)
 		}
 	})
-	if len(s.exits) == 0 {
+	if len(sc.exits) == 0 {
 		return false
 	}
-	for _, e := range s.entries {
-		for _, x := range s.exits {
+	for _, e := range sc.entries {
+		for _, x := range sc.exits {
 			if e == x || s.inner.Reachable(uint32(e), uint32(x)) {
 				return true
 			}

@@ -2,26 +2,39 @@
 // and bidirectional BFS. These are the "no precomputation" reference
 // points of the paper's taxonomy (§2.1) and the ground truth for every
 // correctness test in this repository.
+//
+// All searchers keep their traversal scratch in a sync.Pool, so a single
+// instance may serve Reachable from many goroutines at once.
 package search
 
-import "repro/internal/graph"
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // BFS answers queries by forward breadth-first search.
 type BFS struct {
-	g   *graph.Graph
-	vst *graph.Visitor
+	g    *graph.Graph
+	pool sync.Pool // *graph.Visitor
 }
 
 // NewBFS returns a BFS searcher over g.
 func NewBFS(g *graph.Graph) *BFS {
-	return &BFS{g: g, vst: graph.NewVisitor(g.NumVertices())}
+	n := g.NumVertices()
+	return &BFS{g: g, pool: sync.Pool{New: func() any { return graph.NewVisitor(n) }}}
 }
 
 // Name implements index.Index.
 func (b *BFS) Name() string { return "BFS" }
 
-// Reachable reports whether u reaches v.
-func (b *BFS) Reachable(u, v uint32) bool { return b.vst.Reachable(b.g, u, v) }
+// Reachable reports whether u reaches v. Safe for concurrent use.
+func (b *BFS) Reachable(u, v uint32) bool {
+	vst := b.pool.Get().(*graph.Visitor)
+	ok := vst.Reachable(b.g, u, v)
+	b.pool.Put(vst)
+	return ok
+}
 
 // SizeInts is zero: online search stores no index.
 func (b *BFS) SizeInts() int64 { return 0 }
@@ -29,20 +42,26 @@ func (b *BFS) SizeInts() int64 { return 0 }
 // Bidirectional answers queries by alternating forward/backward BFS,
 // expanding the smaller frontier.
 type Bidirectional struct {
-	g  *graph.Graph
-	bi *graph.BiVisitor
+	g    *graph.Graph
+	pool sync.Pool // *graph.BiVisitor
 }
 
 // NewBidirectional returns a bidirectional searcher over g.
 func NewBidirectional(g *graph.Graph) *Bidirectional {
-	return &Bidirectional{g: g, bi: graph.NewBiVisitor(g.NumVertices())}
+	n := g.NumVertices()
+	return &Bidirectional{g: g, pool: sync.Pool{New: func() any { return graph.NewBiVisitor(n) }}}
 }
 
 // Name implements index.Index.
 func (b *Bidirectional) Name() string { return "BiBFS" }
 
-// Reachable reports whether u reaches v.
-func (b *Bidirectional) Reachable(u, v uint32) bool { return b.bi.Reachable(b.g, u, v) }
+// Reachable reports whether u reaches v. Safe for concurrent use.
+func (b *Bidirectional) Reachable(u, v uint32) bool {
+	bi := b.pool.Get().(*graph.BiVisitor)
+	ok := bi.Reachable(b.g, u, v)
+	b.pool.Put(bi)
+	return ok
+}
 
 // SizeInts is zero: online search stores no index.
 func (b *Bidirectional) SizeInts() int64 { return 0 }
@@ -51,36 +70,45 @@ func (b *Bidirectional) SizeInts() int64 { return 0 }
 // the paper's online-search discussion covers both BFS and DFS; DFS can
 // differ wildly in visit order and stack behaviour.
 type DFS struct {
-	g     *graph.Graph
+	g    *graph.Graph
+	pool sync.Pool // *dfsScratch
+}
+
+type dfsScratch struct {
 	vst   *graph.Visitor
 	stack []graph.Vertex
 }
 
 // NewDFS returns a DFS searcher over g.
 func NewDFS(g *graph.Graph) *DFS {
-	return &DFS{g: g, vst: graph.NewVisitor(g.NumVertices())}
+	n := g.NumVertices()
+	return &DFS{g: g, pool: sync.Pool{New: func() any {
+		return &dfsScratch{vst: graph.NewVisitor(n), stack: make([]graph.Vertex, 0, 64)}
+	}}}
 }
 
 // Name implements index.Index.
 func (d *DFS) Name() string { return "DFS" }
 
-// Reachable reports whether u reaches v.
+// Reachable reports whether u reaches v. Safe for concurrent use.
 func (d *DFS) Reachable(u, v uint32) bool {
 	if u == v {
 		return true
 	}
-	d.vst.Reset()
-	d.vst.Visit(u)
-	d.stack = append(d.stack[:0], u)
-	for len(d.stack) > 0 {
-		x := d.stack[len(d.stack)-1]
-		d.stack = d.stack[:len(d.stack)-1]
+	s := d.pool.Get().(*dfsScratch)
+	defer d.pool.Put(s)
+	s.vst.Reset()
+	s.vst.Visit(u)
+	s.stack = append(s.stack[:0], u)
+	for len(s.stack) > 0 {
+		x := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		for _, w := range d.g.Out(x) {
 			if w == v {
 				return true
 			}
-			if d.vst.Visit(w) {
-				d.stack = append(d.stack, w)
+			if s.vst.Visit(w) {
+				s.stack = append(s.stack, w)
 			}
 		}
 	}

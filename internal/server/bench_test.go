@@ -1,0 +1,83 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	reach "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func benchFixture(b *testing.B, cfg Config) (*Server, [][2]uint32) {
+	b.Helper()
+	raw := gen.CitationDAG(20000, 4, 0.5, 9)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(g, oracle, cfg)
+	b.Cleanup(s.Close)
+
+	rng := rand.New(rand.NewSource(33))
+	n := uint32(g.NumVertices())
+	pairs := make([][2]uint32, 1<<14)
+	for i := range pairs {
+		pairs[i] = [2]uint32{rng.Uint32() % n, rng.Uint32() % n}
+	}
+	return s, pairs
+}
+
+// BenchmarkServerBatch measures throughput of the batch path — cache +
+// worker pool — the baseline later scaling PRs must beat.
+func BenchmarkServerBatch(b *testing.B) {
+	s, pairs := benchFixture(b, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReachableBatch(pairs)
+	}
+	b.StopTimer()
+	qps := float64(b.N) * float64(len(pairs)) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+}
+
+// BenchmarkCachedReachable measures the fully cache-hit single-query
+// path: one warmup pass populates every pair, then all queries hit.
+func BenchmarkCachedReachable(b *testing.B) {
+	s, pairs := benchFixture(b, Config{})
+	for _, p := range pairs {
+		s.Reachable(p[0], p[1]) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&(len(pairs)-1)]
+		s.Reachable(p[0], p[1])
+	}
+	b.StopTimer()
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+}
+
+// BenchmarkUncachedReachable is the same path with the cache disabled —
+// the spread between this and BenchmarkCachedReachable is what the cache
+// buys on repeat-heavy workloads.
+func BenchmarkUncachedReachable(b *testing.B) {
+	s, pairs := benchFixture(b, Config{CacheCapacity: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&(len(pairs)-1)]
+		s.Reachable(p[0], p[1])
+	}
+	b.StopTimer()
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+}

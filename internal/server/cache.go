@@ -1,0 +1,167 @@
+package server
+
+import "sync"
+
+// Cache defaults; Config leaves them overridable per daemon.
+const (
+	// DefaultCacheShards is the shard count (rounded up to a power of
+	// two). 64 ways keeps lock contention negligible at the concurrency
+	// levels a single reachd serves.
+	DefaultCacheShards = 64
+	// DefaultCacheCapacity bounds total cached (u,v) answers. At one map
+	// entry plus one ring slot per answer this is a few tens of MiB.
+	DefaultCacheCapacity = 1 << 20
+)
+
+// queryCache is a sharded, fixed-capacity map from query pair to answer.
+// Both positive and negative answers are cached: the oracle is immutable,
+// so entries never go stale and eviction exists only to bound memory.
+// Shard selection is by FNV-1a hash of the packed pair so hot vertices
+// spread across shards; within a shard, eviction is FIFO via a ring of
+// inserted keys.
+type queryCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	mu   sync.Mutex
+	m    map[uint64]bool
+	ring []uint64 // insertion order, for FIFO eviction
+	pos  int
+	cap  int
+	// hit/miss counters live per shard, inside the padded struct and
+	// bumped under the shard mutex, so the hot path never touches a
+	// cache line shared across shards.
+	hits, misses int64
+	// pad the shard to its own cache lines so neighboring locks don't
+	// false-share.
+	_ [64]byte
+}
+
+// newQueryCache builds a cache with the given shard count (rounded up to
+// a power of two) and total entry capacity split evenly across shards.
+// The configured capacity is an upper bound: when it is smaller than the
+// shard count, the shard count shrinks rather than the bound inflating.
+func newQueryCache(shards, capacity int) *queryCache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	for pow > 1 && capacity < pow {
+		pow >>= 1
+	}
+	perShard := capacity / pow
+	c := &queryCache{shards: make([]cacheShard, pow), mask: uint32(pow - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].m = make(map[uint64]bool, perShard)
+		c.shards[i].ring = make([]uint64, 0, perShard)
+	}
+	return c
+}
+
+func pairKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// fnvShard hashes the packed key with FNV-1a; the low bits pick a shard.
+func (c *queryCache) fnvShard(k uint64) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= k & 0xff
+		h *= prime64
+		k >>= 8
+	}
+	return &c.shards[uint32(h)&c.mask]
+}
+
+// get returns the cached answer for (u, v) and whether one was present,
+// bumping the shard's hit or miss counter.
+func (c *queryCache) get(u, v uint32) (answer, ok bool) {
+	k := pairKey(u, v)
+	sh := c.fnvShard(k)
+	sh.mu.Lock()
+	answer, ok = sh.m[k]
+	if ok {
+		sh.hits++
+	} else {
+		sh.misses++
+	}
+	sh.mu.Unlock()
+	return answer, ok
+}
+
+// put stores the answer for (u, v), evicting the shard's oldest entry
+// once the shard is full.
+func (c *queryCache) put(u, v uint32, answer bool) {
+	k := pairKey(u, v)
+	sh := c.fnvShard(k)
+	sh.mu.Lock()
+	if _, exists := sh.m[k]; !exists {
+		if len(sh.ring) < sh.cap {
+			sh.ring = append(sh.ring, k)
+		} else {
+			delete(sh.m, sh.ring[sh.pos])
+			sh.ring[sh.pos] = k
+			sh.pos++
+			if sh.pos == sh.cap {
+				sh.pos = 0
+			}
+		}
+	}
+	sh.m[k] = answer
+	sh.mu.Unlock()
+}
+
+// len counts cached entries across all shards.
+func (c *queryCache) len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// CacheStats is the cache section of /v1/stats.
+type CacheStats struct {
+	Shards   int     `json:"shards"`
+	Capacity int     `json:"capacity"`
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func (c *queryCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	s := CacheStats{
+		Shards:   len(c.shards),
+		Capacity: len(c.shards) * c.shards[0].cap,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		sh.mu.Unlock()
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newQueryCache(4, 1024)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(1, 2, true)
+	c.put(2, 1, false) // asymmetric pair must not collide
+	if ans, ok := c.get(1, 2); !ok || !ans {
+		t.Fatalf("get(1,2) = %v, %v", ans, ok)
+	}
+	if ans, ok := c.get(2, 1); !ok || ans {
+		t.Fatalf("get(2,1) = %v, %v", ans, ok)
+	}
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate < 0.66 || st.HitRate > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", st.HitRate)
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := newQueryCache(1, 8)
+	c.put(3, 4, false)
+	c.put(3, 4, true)
+	if ans, ok := c.get(3, 4); !ok || !ans {
+		t.Fatalf("overwrite lost: %v, %v", ans, ok)
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d after overwrite, want 1", n)
+	}
+}
+
+func TestCacheEvictionBoundsCapacity(t *testing.T) {
+	const capacity = 128
+	c := newQueryCache(4, capacity)
+	for i := uint32(0); i < 10*capacity; i++ {
+		c.put(i, i+1, i%2 == 0)
+	}
+	if n := c.len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	// The most recent insertions survive FIFO eviction.
+	last := uint32(10*capacity - 1)
+	if _, ok := c.get(last, last+1); !ok {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	c := newQueryCache(5, 100)
+	if len(c.shards) != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", len(c.shards))
+	}
+	if c.stats().Capacity != 8*(100/8) {
+		t.Fatalf("capacity = %d", c.stats().Capacity)
+	}
+	// A capacity below the shard count shrinks the shard count; the
+	// configured bound is an upper bound, never inflated.
+	small := newQueryCache(64, 10)
+	if got := small.stats().Capacity; got > 10 || got < 1 {
+		t.Fatalf("capacity 10 with 64 shards yields %d, want 1..10", got)
+	}
+	for i := uint32(0); i < 100; i++ {
+		small.put(i, i, true)
+	}
+	if n := small.len(); n > 10 {
+		t.Fatalf("small cache holds %d entries, bound 10", n)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newQueryCache(64, 1<<12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				u, v := rng.Uint32()%512, rng.Uint32()%512
+				// The invariant under concurrency: an entry for (u,v) always
+				// holds the deterministic answer u < v, no matter which
+				// goroutine wrote it.
+				if ans, ok := c.get(u, v); ok && ans != (u < v) {
+					t.Error("cache returned a value nobody wrote")
+					return
+				}
+				c.put(u, v, u < v)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if st := c.stats(); st.Hits+st.Misses != 8*5000 {
+		t.Fatalf("counter total = %d, want %d", st.Hits+st.Misses, 8*5000)
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the HTTP mux serving the v1 API:
+//
+//	GET  /v1/healthz                liveness probe
+//	GET  /v1/reachable?u=U&v=V      one query
+//	POST /v1/batch                  {"pairs": [[u,v], ...]}
+//	GET  /v1/stats                  graph + index + cache + server counters
+//
+// Vertex IDs are dense [0, vertices) IDs by default; with Config.OrigIDs
+// set (as reachd does) they are the caller's original edge-list IDs.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/reachable", s.handleReachable)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"method":   s.oracle.Method(),
+		"vertices": s.g.NumVertices(),
+	})
+}
+
+// reachableResponse is the /v1/reachable payload; u and v echo the
+// caller's IDs.
+type reachableResponse struct {
+	U         uint64 `json:"u"`
+	V         uint64 `json:"v"`
+	Reachable bool   `json:"reachable"`
+	Cached    bool   `json:"cached"`
+}
+
+func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, errU := strconv.ParseUint(q.Get("u"), 10, 64)
+	v, errV := strconv.ParseUint(q.Get("v"), 10, 64)
+	if errU != nil || errV != nil {
+		s.fail(w, http.StatusBadRequest, "u and v must be non-negative integer query parameters")
+		return
+	}
+	du, okU := s.resolve(u)
+	dv, okV := s.resolve(v)
+	if !okU || !okV {
+		bad := u
+		if okU {
+			bad = v
+		}
+		s.fail(w, http.StatusBadRequest, "vertex %d not in graph (%d vertices)", bad, s.g.NumVertices())
+		return
+	}
+	ans, cached := s.Reachable(du, dv)
+	s.writeJSON(w, http.StatusOK, reachableResponse{
+		U: u, V: v, Reachable: ans, Cached: cached,
+	})
+}
+
+// batchRequest is the /v1/batch input; pairs naming unknown vertices
+// answer false rather than failing the whole batch.
+type batchRequest struct {
+	Pairs [][2]uint64 `json:"pairs"`
+}
+
+// batchResponse is the /v1/batch payload.
+type batchResponse struct {
+	Count   int    `json:"count"`
+	Results []bool `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Cap body bytes before decoding so MaxBatchPairs bounds memory, not
+	// just the decoded pair count. Worst case a compactly-encoded pair of
+	// two 20-digit uint64 IDs plus JSON punctuation costs ~46 bytes; 48
+	// covers it, so any compact batch within the pair-count limit also
+	// fits the byte cap. Whitespace-heavy encodings (MarshalIndent) can
+	// trip it earlier — the 413 body names the byte limit for that case.
+	body := http.MaxBytesReader(w, r.Body, 48*int64(s.cfg.MaxBatchPairs)+4096)
+	var req batchRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"batch body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatchPairs {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatchPairs)
+		return
+	}
+	s.met.batchRequests.Add(1)
+	dense := make([][2]uint32, len(req.Pairs))
+	for i, p := range req.Pairs {
+		du, _ := s.resolve(p[0]) // unknown IDs become unknownVertex → false
+		dv, _ := s.resolve(p[1])
+		dense[i] = [2]uint32{du, dv}
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		Count:   len(req.Pairs),
+		Results: s.ReachableBatch(dense),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}

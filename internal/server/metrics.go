@@ -1,0 +1,52 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates serving counters with lock-free atomics; every
+// handler goroutine bumps them concurrently.
+type metrics struct {
+	start         time.Time
+	queries       atomic.Int64 // pair-queries answered (single + batch)
+	batchRequests atomic.Int64
+	positive      atomic.Int64
+	negative      atomic.Int64
+	errors        atomic.Int64 // requests rejected with 4xx/5xx
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// record tallies one answered pair-query.
+func (m *metrics) record(reachable bool) {
+	m.queries.Add(1)
+	if reachable {
+		m.positive.Add(1)
+	} else {
+		m.negative.Add(1)
+	}
+}
+
+// ServerStats is the server section of /v1/stats.
+type ServerStats struct {
+	Queries       int64   `json:"queries"`
+	BatchRequests int64   `json:"batch_requests"`
+	Positive      int64   `json:"positive"`
+	Negative      int64   `json:"negative"`
+	Errors        int64   `json:"errors"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (m *metrics) snapshot(workers int) ServerStats {
+	return ServerStats{
+		Queries:       m.queries.Load(),
+		BatchRequests: m.batchRequests.Load(),
+		Positive:      m.positive.Load(),
+		Negative:      m.negative.Load(),
+		Errors:        m.errors.Load(),
+		Workers:       workers,
+		UptimeSeconds: time.Since(m.start).Seconds(),
+	}
+}

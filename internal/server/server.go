@@ -1,0 +1,248 @@
+// Package server is the reachd query-serving core: it wraps an immutable
+// reach.Oracle with a sharded positive/negative query cache and a worker
+// pool for batch execution, and exposes both over a small HTTP/JSON API
+// (/v1/reachable, /v1/batch, /v1/stats, /v1/healthz).
+//
+// The layering mirrors O'Reach's observation that cheap caching/filter
+// frontends multiply the real-world throughput of a microsecond-query
+// oracle: the oracle answers anything, the cache shortcuts repeats, and
+// the pool turns one HTTP round trip into many index probes.
+package server
+
+import (
+	"runtime"
+	"sync"
+
+	reach "repro"
+)
+
+// Config tunes the serving layer. The zero value picks sane defaults.
+type Config struct {
+	// Workers sizes the batch worker pool (default GOMAXPROCS).
+	Workers int
+	// CacheShards is the cache shard count (default 64).
+	CacheShards int
+	// CacheCapacity bounds total cached answers (default 1<<20).
+	// Negative disables the cache entirely.
+	CacheCapacity int
+	// BatchChunk is how many pairs one worker task handles (default 256).
+	BatchChunk int
+	// MaxBatchPairs rejects oversized /v1/batch requests (default 1<<20).
+	MaxBatchPairs int
+	// OrigIDs, when set, makes the HTTP API speak the caller's original
+	// vertex IDs instead of dense post-parse ones: OrigIDs[dense] = raw,
+	// exactly as reach.ReadGraph returns. reachd always sets this so the
+	// HTTP API and reachcli agree on what "vertex 3" means for the same
+	// edge-list file.
+	OrigIDs []int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 256
+	}
+	if c.MaxBatchPairs <= 0 {
+		c.MaxBatchPairs = 1 << 20
+	}
+	return c
+}
+
+// Server answers reachability queries for one graph + oracle pair. It is
+// safe for concurrent use; create with New and release the worker pool
+// with Close when done.
+type Server struct {
+	g      *reach.Graph
+	oracle *reach.Oracle
+	cache  *queryCache // nil when disabled
+	met    *metrics
+	cfg    Config
+
+	// denseOf translates original vertex IDs to dense ones; nil when the
+	// API already speaks dense IDs.
+	denseOf map[int64]uint32
+
+	jobs      chan func()
+	workersWG sync.WaitGroup
+	closeOnce sync.Once
+	// closeMu makes job submission mutually exclusive with closing the
+	// jobs channel: senders hold the read side, Close the write side, so
+	// a send can never hit a just-closed channel.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New wires a server around an already-built oracle and starts its worker
+// pool.
+func New(g *reach.Graph, oracle *reach.Oracle, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		g:      g,
+		oracle: oracle,
+		met:    newMetrics(),
+		cfg:    cfg,
+		jobs:   make(chan func(), 4*cfg.Workers),
+	}
+	if cfg.CacheCapacity >= 0 {
+		s.cache = newQueryCache(cfg.CacheShards, cfg.CacheCapacity)
+	}
+	if len(cfg.OrigIDs) > 0 {
+		s.denseOf = make(map[int64]uint32, len(cfg.OrigIDs))
+		for dense, raw := range cfg.OrigIDs {
+			s.denseOf[raw] = uint32(dense)
+		}
+	}
+	s.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer s.workersWG.Done()
+			for job := range s.jobs {
+				job()
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops the worker pool. In-flight batch requests finish; new ones
+// fall back to inline execution.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closed = true
+		close(s.jobs)
+		s.closeMu.Unlock()
+	})
+	s.workersWG.Wait()
+}
+
+// submit hands job to the pool, or reports false if the pool is saturated
+// or already closed (caller runs it inline).
+func (s *Server) submit(job func()) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// unknownVertex is the dense ID unknown API vertex IDs resolve to; it is
+// out of range for every graph, so the oracle answers false.
+const unknownVertex = ^uint32(0)
+
+// resolve maps an API vertex ID (original when OrigIDs was configured,
+// dense otherwise) to a dense vertex, reporting whether it names a vertex
+// of the graph.
+func (s *Server) resolve(raw uint64) (uint32, bool) {
+	if s.denseOf == nil {
+		if raw >= uint64(s.g.NumVertices()) {
+			return unknownVertex, false
+		}
+		return uint32(raw), true
+	}
+	if raw > 1<<63-1 {
+		return unknownVertex, false
+	}
+	dense, ok := s.denseOf[int64(raw)]
+	if !ok {
+		return unknownVertex, false
+	}
+	return dense, true
+}
+
+// Reachable answers one query through the cache, reporting whether the
+// answer was a cache hit.
+func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
+	if s.cache != nil {
+		if ans, ok := s.cache.get(u, v); ok {
+			s.met.record(ans)
+			return ans, true
+		}
+	}
+	ans := s.oracle.Reachable(u, v)
+	if s.cache != nil {
+		s.cache.put(u, v, ans)
+	}
+	s.met.record(ans)
+	return ans, false
+}
+
+// ReachableBatch answers pairs through the cache, splitting the work
+// across the worker pool in BatchChunk-sized tasks.
+func (s *Server) ReachableBatch(pairs [][2]uint32) []bool {
+	out := make([]bool, len(pairs))
+	chunk := s.cfg.BatchChunk
+	if len(pairs) <= chunk {
+		s.runChunk(pairs, out)
+		return out
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			s.runChunk(pairs[lo:hi], out[lo:hi])
+		}
+		if !s.submit(job) {
+			job() // pool saturated or shut down: run inline rather than block
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *Server) runChunk(pairs [][2]uint32, out []bool) {
+	for i, p := range pairs {
+		out[i], _ = s.Reachable(p[0], p[1])
+	}
+}
+
+// GraphStats is the graph section of /v1/stats.
+type GraphStats struct {
+	Vertices    int `json:"vertices"`
+	DAGVertices int `json:"dag_vertices"`
+	DAGEdges    int `json:"dag_edges"`
+}
+
+// IndexStats is the index section of /v1/stats.
+type IndexStats struct {
+	Method   string `json:"method"`
+	SizeInts int64  `json:"size_ints"`
+}
+
+// Stats is the full /v1/stats payload.
+type Stats struct {
+	Graph  GraphStats  `json:"graph"`
+	Index  IndexStats  `json:"index"`
+	Cache  CacheStats  `json:"cache"`
+	Server ServerStats `json:"server"`
+}
+
+// Stats snapshots every layer's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Graph: GraphStats{
+			Vertices:    s.g.NumVertices(),
+			DAGVertices: s.g.DAGVertices(),
+			DAGEdges:    s.g.DAGEdges(),
+		},
+		Index: IndexStats{
+			Method:   s.oracle.Method(),
+			SizeInts: s.oracle.IndexSizeInts(),
+		},
+		Cache:  s.cache.stats(),
+		Server: s.met.snapshot(s.cfg.Workers),
+	}
+}

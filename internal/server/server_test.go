@@ -1,0 +1,385 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+
+	reach "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// fixture builds a citation-style DAG, its DL oracle, and a running test
+// server.
+func fixture(t testing.TB, cfg Config) (*reach.Graph, *Server, *httptest.Server) {
+	t.Helper()
+	raw := gen.CitationDAG(600, 3, 0.5, 42)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, oracle, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return g, s, ts
+}
+
+func getJSON(t testing.TB, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("bad JSON %q: %v", body, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	var got struct {
+		Status   string `json:"status"`
+		Method   string `json:"method"`
+		Vertices int    `json:"vertices"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, got)
+	}
+	if got.Method != "DL" || got.Vertices != g.NumVertices() {
+		t.Fatalf("healthz reports %+v", got)
+	}
+}
+
+func TestReachableEndpoint(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	oracle, err := reach.Build(g, reach.MethodBFS, reach.Options{}) // ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var got reachableResponse
+		resp := getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts.URL, u, v), &got)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query (%d,%d): status %d", u, v, resp.StatusCode)
+		}
+		if want := oracle.Reachable(uint32(u), uint32(v)); got.Reachable != want {
+			t.Fatalf("query (%d,%d): got %v want %v", u, v, got.Reachable, want)
+		}
+	}
+	// A repeated query must come from the cache.
+	getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil)
+	var got reachableResponse
+	getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", &got)
+	if !got.Cached {
+		t.Error("repeat query not served from cache")
+	}
+}
+
+func TestReachableEndpointRejectsBadInput(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	for _, q := range []string{
+		"u=abc&v=1",
+		"u=1",
+		"",
+		fmt.Sprintf("u=%d&v=0", g.NumVertices()),
+		"u=0&v=4294967296",
+	} {
+		resp := getJSON(t, ts.URL+"/v1/reachable?"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func postBatch(t testing.TB, url string, pairs [][2]uint64) (*http.Response, batchResponse) {
+	t.Helper()
+	body, err := json.Marshal(batchRequest{Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("bad batch JSON %q: %v", raw, err)
+		}
+	}
+	return resp, got
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	g, _, ts := fixture(t, Config{Workers: 4, BatchChunk: 16})
+	oracle, err := reach.Build(g, reach.MethodBFS, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := uint64(g.NumVertices())
+	pairs := make([][2]uint64, 1000)
+	for i := range pairs {
+		pairs[i] = [2]uint64{uint64(rng.Uint32()) % n, uint64(rng.Uint32()) % n}
+	}
+	pairs[17] = [2]uint64{n + 3, 0} // unknown vertex answers false, not 400
+
+	resp, got := postBatch(t, ts.URL, pairs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if got.Count != len(pairs) || len(got.Results) != len(pairs) {
+		t.Fatalf("batch: count %d, %d results for %d pairs", got.Count, len(got.Results), len(pairs))
+	}
+	for i, p := range pairs {
+		want := p[0] < n && p[1] < n && oracle.Reachable(uint32(p[0]), uint32(p[1]))
+		if got.Results[i] != want {
+			t.Fatalf("batch pair %d (%d,%d): got %v want %v", i, p[0], p[1], got.Results[i], want)
+		}
+	}
+}
+
+func TestBatchEndpointLimits(t *testing.T) {
+	_, _, ts := fixture(t, Config{MaxBatchPairs: 8})
+	resp, _ := postBatch(t, ts.URL, make([][2]uint64, 9))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed batch: status %d, want 400", r2.StatusCode)
+	}
+	// The byte cap must trip before the decoder buffers an oversized
+	// body: valid JSON padded past 48*MaxBatchPairs+4096 bytes.
+	huge := append([]byte(`{"pairs":[[1,2]]`), bytes.Repeat([]byte(" "), 8192)...)
+	huge = append(huge, '}')
+	r3, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", r3.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	// Same query twice: one miss then one hit.
+	getJSON(t, ts.URL+"/v1/reachable?u=1&v=2", nil)
+	getJSON(t, ts.URL+"/v1/reachable?u=1&v=2", nil)
+
+	var got Stats
+	resp := getJSON(t, ts.URL+"/v1/stats", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if got.Graph.Vertices != g.NumVertices() || got.Graph.DAGEdges != g.DAGEdges() {
+		t.Errorf("stats graph section: %+v", got.Graph)
+	}
+	if got.Index.Method != "DL" || got.Index.SizeInts <= 0 {
+		t.Errorf("stats index section: %+v", got.Index)
+	}
+	if got.Cache.Hits < 1 || got.Cache.Misses < 1 || got.Cache.HitRate <= 0 {
+		t.Errorf("stats cache section: %+v", got.Cache)
+	}
+	if got.Server.Queries < 2 || got.Server.Workers <= 0 {
+		t.Errorf("stats server section: %+v", got.Server)
+	}
+}
+
+// TestServerConcurrentHammer hits the HTTP API from many goroutines with
+// mixed single and batch requests; run under -race it exercises the
+// cache, the metrics, and the worker pool concurrently.
+func TestServerConcurrentHammer(t *testing.T) {
+	g, _, ts := fixture(t, Config{Workers: 4, BatchChunk: 32, CacheCapacity: 1 << 12})
+	oracle, err := reach.Build(g, reach.MethodBFS, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(g.NumVertices())
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	client := ts.Client()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				if i%4 == 0 { // one batch per few singles
+					pairs := make([][2]uint32, 64)
+					wire := make([][2]uint64, len(pairs))
+					for j := range pairs {
+						pairs[j] = [2]uint32{rng.Uint32() % n, rng.Uint32() % n}
+						wire[j] = [2]uint64{uint64(pairs[j][0]), uint64(pairs[j][1])}
+					}
+					body, _ := json.Marshal(batchRequest{Pairs: wire})
+					resp, err := client.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errc <- err
+						return
+					}
+					var got batchResponse
+					err = json.NewDecoder(resp.Body).Decode(&got)
+					resp.Body.Close()
+					if err != nil {
+						errc <- err
+						return
+					}
+					for j, p := range pairs {
+						if got.Results[j] != oracle.Reachable(p[0], p[1]) {
+							errc <- fmt.Errorf("batch pair (%d,%d) wrong under concurrency", p[0], p[1])
+							return
+						}
+					}
+					continue
+				}
+				u, v := rng.Uint32()%n, rng.Uint32()%n
+				resp, err := client.Get(fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts.URL, u, v))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var got reachableResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got.Reachable != oracle.Reachable(u, v) {
+					errc <- fmt.Errorf("single query (%d,%d) wrong under concurrency", u, v)
+					return
+				}
+			}
+		}(int64(w) + 100)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Server.Queries == 0 || st.Cache.Hits+st.Cache.Misses == 0 {
+		t.Errorf("hammer left no trace in stats: %+v", st)
+	}
+}
+
+// TestOrigIDMapping proves the API speaks the edge-list file's own IDs
+// when OrigIDs is configured, as reachd does — the same IDs reachcli
+// answers with.
+func TestOrigIDMapping(t *testing.T) {
+	// Raw IDs 100, 7, 42 densify (in order of appearance) to 0, 1, 2.
+	g, orig, err := reach.ReadGraph(bytes.NewReader([]byte("100 7\n7 42\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, oracle, Config{OrigIDs: orig})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got reachableResponse
+	if resp := getJSON(t, ts.URL+"/v1/reachable?u=100&v=42", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw-ID query: status %d", resp.StatusCode)
+	}
+	if !got.Reachable || got.U != 100 || got.V != 42 {
+		t.Fatalf("raw-ID query 100->42: %+v, want reachable with echoed raw IDs", got)
+	}
+	// Dense ID 0 is not a raw ID of this file: it must be rejected, not
+	// silently treated as vertex 100.
+	if resp := getJSON(t, ts.URL+"/v1/reachable?u=0&v=42", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dense ID leaked through raw-ID API: status %d", resp.StatusCode)
+	}
+	resp, batch := postBatch(t, ts.URL, [][2]uint64{{100, 42}, {42, 100}, {999, 42}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw-ID batch: status %d", resp.StatusCode)
+	}
+	if want := []bool{true, false, false}; !slices.Equal(batch.Results, want) {
+		t.Fatalf("raw-ID batch results = %v, want %v", batch.Results, want)
+	}
+}
+
+// TestSnapshotRoundTripServing proves the reachd restart path: serialize
+// the labeling, restore with LoadOracle, and serve identical answers.
+func TestSnapshotRoundTripServing(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := oracle.WriteLabeling(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := reach.LoadOracle(g, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(g, loaded, Config{})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	n := g.NumVertices()
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var a, b reachableResponse
+		getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts.URL, u, v), &a)
+		getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts2.URL, u, v), &b)
+		if a.Reachable != b.Reachable {
+			t.Fatalf("snapshot-loaded server disagrees on (%d,%d)", u, v)
+		}
+	}
+}

@@ -80,6 +80,12 @@ type Options struct {
 }
 
 // Oracle answers reachability queries on a Graph through a built index.
+//
+// Once built, an Oracle is immutable and all query methods (Reachable,
+// ReachableBatch) are safe for concurrent use from many goroutines; every
+// index implementation keeps any per-query traversal scratch in a
+// sync.Pool. This is the contract the reachd serving layer builds on, and
+// it is enforced for every method by a race-enabled hammer test.
 type Oracle struct {
 	g   *Graph
 	idx index.Index
@@ -149,12 +155,34 @@ func Methods() []Method {
 }
 
 // Reachable reports whether original vertex u reaches original vertex v.
+// Out-of-range vertex IDs are never reachable (and never reach anything),
+// so they answer false rather than panicking.
 func (o *Oracle) Reachable(u, v uint32) bool {
+	n := uint32(o.g.originalN)
+	if u >= n || v >= n {
+		return false
+	}
 	cu, cv := o.g.comp[u], o.g.comp[v]
 	if cu == cv {
 		return true // same SCC (or same vertex)
 	}
 	return o.idx.Reachable(uint32(cu), uint32(cv))
+}
+
+// ReachableBatch answers many queries in one call: out[i] reports whether
+// pairs[i][0] reaches pairs[i][1]. If out is non-nil and long enough it is
+// filled and returned without allocating; otherwise a new slice is
+// returned. Like Reachable it is safe for concurrent use, so callers may
+// split a large batch across goroutines, each with its own out slice.
+func (o *Oracle) ReachableBatch(pairs [][2]uint32, out []bool) []bool {
+	if cap(out) < len(pairs) {
+		out = make([]bool, len(pairs))
+	}
+	out = out[:len(pairs)]
+	for i, p := range pairs {
+		out[i] = o.Reachable(p[0], p[1])
+	}
+	return out
 }
 
 // Method returns the index method tag (e.g. "DL").
@@ -190,10 +218,11 @@ func (o *Oracle) LabelStats() (hoplabel.Stats, error) {
 
 // loadedIndex adapts a deserialized labeling to the index interface.
 type loadedIndex struct {
-	l *hoplabel.Labeling
+	l    *hoplabel.Labeling
+	name string
 }
 
-func (x *loadedIndex) Name() string                 { return "loaded" }
+func (x *loadedIndex) Name() string                 { return x.name }
 func (x *loadedIndex) Reachable(u, v uint32) bool   { return x.l.Reachable(u, v) }
 func (x *loadedIndex) SizeInts() int64              { return x.l.SizeInts() }
 func (x *loadedIndex) Labeling() *hoplabel.Labeling { return x.l }
@@ -201,8 +230,16 @@ func (x *loadedIndex) Labeling() *hoplabel.Labeling { return x.l }
 // LoadOracle restores an oracle from a labeling previously serialized with
 // WriteLabeling. The graph must be the same one (same vertex count after
 // condensation) the labeling was built for; hop labelings carry no graph
-// data of their own.
+// data of their own — callers that need a stronger identity check (or the
+// original method tag) should store those alongside, as cmd/reachd's
+// snapshot header does. Method() reports "loaded".
 func LoadOracle(g *Graph, r io.Reader) (*Oracle, error) {
+	return LoadOracleNamed(g, r, "loaded")
+}
+
+// LoadOracleNamed is LoadOracle but tags the restored index with the
+// method name it was built with (e.g. "DL"), so Method() reports it.
+func LoadOracleNamed(g *Graph, r io.Reader, method string) (*Oracle, error) {
 	l, err := hoplabel.Read(r)
 	if err != nil {
 		return nil, err
@@ -211,5 +248,5 @@ func LoadOracle(g *Graph, r io.Reader) (*Oracle, error) {
 		return nil, fmt.Errorf("reach: labeling has %d vertices but graph's DAG has %d",
 			l.NumVertices(), g.DAGVertices())
 	}
-	return &Oracle{g: g, idx: &loadedIndex{l: l}}, nil
+	return &Oracle{g: g, idx: &loadedIndex{l: l, name: method}}, nil
 }
