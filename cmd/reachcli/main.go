@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	reachcli -graph g.txt -method DL [-stats] [u v]...
+//	reachcli -graph g.txt -method DL [-stats] [-save g.snap] [u v]...
+//	reachcli -load g.snap [-stats] [u v]...
 //	echo "3 17" | reachcli -graph g.txt -method HL
 //
-// Queries are "u v" vertex pairs (original IDs from the input file),
-// either as trailing arguments (pairs of integers) or one per line on
-// stdin. Output is "u v true|false".
+// -save writes the built oracle (graph condensation + index) to a
+// snapshot file; -load memory-maps one instead of parsing and rebuilding,
+// which is instant regardless of graph size. Queries are "u v" vertex
+// pairs (original IDs from the input file), either as trailing arguments
+// (pairs of integers) or one per line on stdin. Output is "u v
+// true|false".
 package main
 
 import (
@@ -24,49 +28,97 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required)")
-		method    = flag.String("method", "DL", "index method (DL, HL, GRAIL, INT, PW8, PT, KR, 2HOP, TF, PL, GL*, PT*, BFS)")
+		graphPath = flag.String("graph", "", "edge-list file (required unless -load)")
+		method    = flag.String("method", "DL", fmt.Sprintf("index method %v", reach.Methods()))
 		stats     = flag.Bool("stats", false, "print graph and index statistics")
+		save      = flag.String("save", "", "write the built oracle to this snapshot file")
+		load      = flag.String("load", "", "load the oracle from this snapshot file instead of building")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *method, *stats, flag.Args()); err != nil {
+	methodSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "method" {
+			methodSet = true
+		}
+	})
+	if err := run(*graphPath, *method, methodSet, *stats, *save, *load, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "reachcli: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, method string, stats bool, args []string) error {
-	if graphPath == "" {
-		return fmt.Errorf("-graph is required")
+func run(graphPath, method string, methodSet bool, stats bool, save, load string, args []string) error {
+	var (
+		oracle  *reach.Oracle
+		g       *reach.Graph
+		orig    []int64
+		elapsed time.Duration
+		verb    string
+	)
+	switch {
+	case load != "":
+		if graphPath != "" {
+			return fmt.Errorf("-graph and -load are mutually exclusive (the snapshot carries the graph)")
+		}
+		start := time.Now()
+		var err error
+		oracle, err = reach.Load(load)
+		if err != nil {
+			return err
+		}
+		defer oracle.Close()
+		if methodSet && oracle.Method() != method {
+			return fmt.Errorf("snapshot %s holds a %s index but -method is %s (omit -method to use the snapshot's)",
+				load, oracle.Method(), method)
+		}
+		elapsed, verb = time.Since(start), "load"
+		g = oracle.Graph()
+		orig = g.OrigIDs()
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		g, orig, err = reach.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		oracle, err = reach.Build(g, reach.Method(method), reach.Options{})
+		if err != nil {
+			return err
+		}
+		elapsed, verb = time.Since(start), "build"
+	default:
+		return fmt.Errorf("-graph or -load is required")
 	}
-	f, err := os.Open(graphPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 
-	g, orig, err := reach.ReadGraph(f)
-	if err != nil {
-		return err
+	if save != "" {
+		if err := oracle.SaveFile(save); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %s snapshot to %s\n", oracle.Method(), save)
 	}
-	// Map original file IDs to dense vertex numbers.
+
+	// Map original file IDs to dense vertex numbers. Snapshots of graphs
+	// built without an edge-list source carry no IDs; queries are then the
+	// dense vertex numbers themselves.
 	denseOf := make(map[int64]uint32, len(orig))
 	for dense, raw := range orig {
 		denseOf[raw] = uint32(dense)
 	}
-
-	start := time.Now()
-	oracle, err := reach.Build(g, reach.Method(method), reach.Options{})
-	if err != nil {
-		return err
+	if orig == nil {
+		for v := 0; v < g.NumVertices(); v++ {
+			denseOf[int64(v)] = uint32(v)
+		}
 	}
-	buildTime := time.Since(start)
 
 	if stats {
 		fmt.Printf("graph: %d vertices (%d after condensation), %d DAG edges\n",
 			g.NumVertices(), g.DAGVertices(), g.DAGEdges())
-		fmt.Printf("index: method=%s size=%d ints build=%s\n",
-			oracle.Method(), oracle.IndexSizeInts(), buildTime)
+		fmt.Printf("index: method=%s size=%d ints %s=%s\n",
+			oracle.Method(), oracle.IndexSizeInts(), verb, elapsed)
 		if ls, err := oracle.LabelStats(); err == nil {
 			fmt.Printf("labels: avg|Lout|=%.2f avg|Lin|=%.2f max|Lout|=%d max|Lin|=%d\n",
 				ls.AvgOut, ls.AvgIn, ls.MaxOut, ls.MaxIn)

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot dl.labels]
+//	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot g.snap]
 //	       [-workers N] [-cache-capacity 1048576] [-cache-shards 64]
 //
-// If -snapshot names an existing file, the labeling is loaded from it and
-// the indexing pass is skipped (labeling methods only: DL, HL, 2HOP);
-// otherwise the index is built and, when -snapshot is set, written there
-// so the next start is instant.
+// If -snapshot names an existing snapshot of the same graph and method,
+// it is memory-mapped and serving starts in milliseconds — the snapshot
+// carries the graph's condensation and original vertex IDs, so with a
+// valid snapshot -graph may be omitted entirely. Otherwise the index is
+// built and, when -snapshot is set, saved there so the next start is
+// instant. Any method in Methods() can be snapshotted, not just the hop
+// labelings.
 //
 // Endpoints:
 //
@@ -25,7 +28,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -34,7 +36,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -44,17 +45,25 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required)")
-		method    = flag.String("method", "DL", "index method (DL, HL, GRAIL, ...)")
+		graphPath = flag.String("graph", "", "edge-list file (optional when -snapshot holds a usable snapshot)")
+		method    = flag.String("method", "DL", fmt.Sprintf("index method %v", reach.Methods()))
 		addr      = flag.String("addr", ":8080", "listen address")
-		snapshot  = flag.String("snapshot", "", "labeling snapshot path: load if present, else build and save")
+		snapshot  = flag.String("snapshot", "", "snapshot path: mmap-load if present, else build and save")
 		workers   = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
 		cacheCap  = flag.Int("cache-capacity", server.DefaultCacheCapacity, "query cache entries (negative disables)")
 		shards    = flag.Int("cache-shards", server.DefaultCacheShards, "query cache shard count")
 		maxBatch  = flag.Int("max-batch", 0, "max pairs per /v1/batch request (default 1<<20)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *method, *addr, *snapshot, server.Config{
+	// An unset -method means "whatever the snapshot holds" when loading,
+	// and DL when building; only an explicit -method constrains a load.
+	methodSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "method" {
+			methodSet = true
+		}
+	})
+	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, server.Config{
 		Workers:       *workers,
 		CacheShards:   *shards,
 		CacheCapacity: *cacheCap,
@@ -65,27 +74,39 @@ func main() {
 	}
 }
 
-func run(graphPath, method, addr, snapshot string, cfg server.Config) error {
-	if graphPath == "" {
-		return fmt.Errorf("-graph is required")
+func run(graphPath, method string, methodSet bool, addr, snapshot string, cfg server.Config) error {
+	if graphPath == "" && snapshot == "" {
+		return fmt.Errorf("-graph or -snapshot is required")
 	}
-	f, err := os.Open(graphPath)
-	if err != nil {
-		return err
+	var g *reach.Graph
+	if graphPath != "" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		var parseErr error
+		g, _, parseErr = reach.ReadGraph(f)
+		f.Close()
+		if parseErr != nil {
+			return parseErr
+		}
+		log.Printf("graph: %d vertices (%d after condensation), %d DAG edges",
+			g.NumVertices(), g.DAGVertices(), g.DAGEdges())
 	}
-	g, orig, err := reach.ReadGraph(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	cfg.OrigIDs = orig // HTTP API speaks the file's own vertex IDs
-	log.Printf("graph: %d vertices (%d after condensation), %d DAG edges",
-		g.NumVertices(), g.DAGVertices(), g.DAGEdges())
 
-	oracle, err := loadOrBuild(g, reach.Method(method), snapshot)
+	oracle, err := loadOrBuild(g, reach.Method(method), methodSet, snapshot)
 	if err != nil {
 		return err
 	}
+	defer oracle.Close()
+	if g == nil {
+		// Snapshot-only start: the graph (and its original IDs) come from
+		// the snapshot. When -graph was parsed too, keep it — the
+		// fingerprint check proved them equivalent, and the parsed graph
+		// always carries the file's IDs.
+		g = oracle.Graph()
+	}
+	cfg.OrigIDs = g.OrigIDs()
 
 	s := server.New(g, oracle, cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
@@ -115,60 +136,50 @@ func run(graphPath, method, addr, snapshot string, cfg server.Config) error {
 	return err
 }
 
-// snapshotMagic versions reachd's snapshot container: a one-line header
-// carrying a graph fingerprint and the method tag, then the raw labeling.
-// The fingerprint is what lets a restart refuse a snapshot that was built
-// from a different graph — the labeling alone only records a vertex
-// count, and two unrelated graphs can easily share one.
-const snapshotMagic = "reachd-snapshot-v1"
-
-func snapshotHeader(g *reach.Graph, method string) string {
-	return fmt.Sprintf("%s n=%d dagv=%d dage=%d method=%s\n",
-		snapshotMagic, g.NumVertices(), g.DAGVertices(), g.DAGEdges(), method)
-}
-
-// loadSnapshot restores an oracle from a reachd snapshot, verifying the
-// header's graph fingerprint against g.
-func loadSnapshot(g *reach.Graph, f *os.File) (*reach.Oracle, error) {
-	rd := bufio.NewReader(f)
-	header, err := rd.ReadString('\n')
+// loadSnapshot memory-maps the snapshot and verifies it matches the
+// parsed graph (when one was parsed) and the requested method (when
+// -method was given explicitly).
+func loadSnapshot(g *reach.Graph, method reach.Method, methodSet bool, path string) (*reach.Oracle, error) {
+	oracle, err := reach.Load(path)
 	if err != nil {
-		return nil, fmt.Errorf("reading header: %w", err)
+		return nil, err
 	}
-	var magic, method string
-	var n, dagv, dage int
-	if _, err := fmt.Sscanf(header, "%s n=%d dagv=%d dage=%d method=%s",
-		&magic, &n, &dagv, &dage, &method); err != nil || magic != snapshotMagic {
-		return nil, fmt.Errorf("not a reachd snapshot (header %q)", strings.TrimSpace(header))
+	if g != nil && oracle.Graph().Fingerprint() != g.Fingerprint() {
+		oracle.Close()
+		return nil, fmt.Errorf("snapshot was built from a different graph (fingerprint mismatch)")
 	}
-	if n != g.NumVertices() || dagv != g.DAGVertices() || dage != g.DAGEdges() {
-		return nil, fmt.Errorf("snapshot was built from a different graph (%d/%d/%d vs %d/%d/%d vertices/DAG-vertices/DAG-edges)",
-			n, dagv, dage, g.NumVertices(), g.DAGVertices(), g.DAGEdges())
+	if methodSet && oracle.Method() != string(method) {
+		m := oracle.Method()
+		oracle.Close()
+		return nil, fmt.Errorf("snapshot holds a %s index but -method is %s", m, method)
 	}
-	return reach.LoadOracleNamed(g, rd, method)
+	return oracle, nil
 }
 
 // loadOrBuild restores the oracle from an existing snapshot, or builds it
-// and saves the labeling for the next restart.
-func loadOrBuild(g *reach.Graph, method reach.Method, snapshot string) (*reach.Oracle, error) {
+// and saves a snapshot for the next restart. g may be nil when only a
+// snapshot was given; building then is impossible and load errors are
+// fatal rather than recoverable.
+func loadOrBuild(g *reach.Graph, method reach.Method, methodSet bool, snapshot string) (*reach.Oracle, error) {
 	if snapshot != "" {
-		if f, err := os.Open(snapshot); err == nil {
+		if _, err := os.Stat(snapshot); err == nil {
 			start := time.Now()
-			oracle, err := loadSnapshot(g, f)
-			f.Close()
-			if err == nil && oracle.Method() != string(method) {
-				err = fmt.Errorf("snapshot holds a %s labeling but -method is %s", oracle.Method(), method)
-			}
+			oracle, err := loadSnapshot(g, method, methodSet, snapshot)
 			if err == nil {
 				log.Printf("index: loaded %s snapshot %s (%d ints) in %s",
 					oracle.Method(), snapshot, oracle.IndexSizeInts(), time.Since(start).Round(time.Millisecond))
 				return oracle, nil
+			}
+			if g == nil {
+				return nil, fmt.Errorf("snapshot %s unusable and no -graph to rebuild from: %w", snapshot, err)
 			}
 			// A corrupt or mismatched snapshot must not brick startup:
 			// rebuild (and overwrite it below) instead.
 			log.Printf("warning: snapshot %s unusable (%v); rebuilding index", snapshot, err)
 		} else if !os.IsNotExist(err) {
 			return nil, err
+		} else if g == nil {
+			return nil, fmt.Errorf("snapshot %s does not exist and no -graph to build from", snapshot)
 		}
 	}
 	start := time.Now()
@@ -179,7 +190,7 @@ func loadOrBuild(g *reach.Graph, method reach.Method, snapshot string) (*reach.O
 	log.Printf("index: built %s (%d ints) in %s",
 		oracle.Method(), oracle.IndexSizeInts(), time.Since(start).Round(time.Millisecond))
 	if snapshot != "" {
-		if err := saveSnapshot(g, oracle, snapshot); err != nil {
+		if err := oracle.SaveFile(snapshot); err != nil {
 			// A failed save must not stop serving; the build already succeeded.
 			log.Printf("warning: saving snapshot %s: %v", snapshot, err)
 		} else {
@@ -187,34 +198,4 @@ func loadOrBuild(g *reach.Graph, method reach.Method, snapshot string) (*reach.O
 		}
 	}
 	return oracle, nil
-}
-
-func saveSnapshot(g *reach.Graph, oracle *reach.Oracle, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := f.WriteString(snapshotHeader(g, oracle.Method())); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := oracle.WriteLabeling(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	// Flush data blocks before the rename so a crash cannot leave a
-	// durable rename pointing at a truncated snapshot.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -13,21 +13,25 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/grail"
 	"repro/internal/graph"
 	"repro/internal/index"
-	"repro/internal/intervalidx"
 	"repro/internal/kreach"
 	"repro/internal/pathtree"
-	"repro/internal/plandmark"
-	"repro/internal/pwahidx"
-	"repro/internal/scarab"
 	"repro/internal/tc"
-	"repro/internal/tflabel"
 	"repro/internal/twohop"
 	"repro/internal/workload"
+
+	// The harness enumerates methods from the index registry; these
+	// imports populate it (kreach/pathtree/twohop above register too, and
+	// additionally export the budget sentinels the harness maps to "—").
+	_ "repro/internal/core"
+	_ "repro/internal/grail"
+	_ "repro/internal/intervalidx"
+	_ "repro/internal/plandmark"
+	_ "repro/internal/pwahidx"
+	_ "repro/internal/scarab"
+	_ "repro/internal/tflabel"
 )
 
 // ErrSkipped marks a method excluded by a resource budget ("—" in tables).
@@ -98,84 +102,72 @@ var MethodOrder = []string{"GL", "GL*", "PT", "PT*", "KR", "PW8", "INT", "2HOP",
 
 // Method is one index method under benchmark.
 type Method struct {
-	ID    string
+	// ID is the paper's table column name; it differs from the registry
+	// tag only for GRAIL, which the tables print as "GL".
+	ID string
+	// Tag is the index-registry tag backing this column.
+	Tag   string
 	Build func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error)
 }
 
-// Methods returns the full method registry in paper order.
+// displayID maps registry tags to paper column names where they differ.
+var displayID = map[string]string{"GRAIL": "GL"}
+
+// pairGates are the closure-size pre-checks that reproduce the paper's
+// "—" entries: methods whose index (or construction intermediate) grows
+// with the number of reachable pairs are skipped above their budget.
+var pairGates = map[string]func(estPairs int64, cfg Config) bool{
+	"PW8": func(est int64, cfg Config) bool { return est > cfg.MaxPW8Pairs },
+	"INT": func(est int64, cfg Config) bool { return est > cfg.MaxINTPairs },
+	"PL":  func(est int64, cfg Config) bool { return est > cfg.MaxPLPairs },
+	"TF":  func(est int64, cfg Config) bool { return est > cfg.MaxLabelPairs },
+	"HL":  func(est int64, cfg Config) bool { return est > cfg.MaxLabelPairs },
+}
+
+// Methods enumerates the benchmarked methods from the index registry in
+// paper column order, wrapping each registered builder with the harness's
+// resource budgets. Methods outside the paper's tables (BFS, BiBFS, TCOV)
+// are registered but not benchmarked.
 func Methods() []Method {
-	return []Method{
-		{ID: "GL", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			return grail.Build(g, grail.Options{Seed: cfg.Seed}), nil
-		}},
-		{ID: "GL*", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			return scarab.Build(g, "GL*", func(star *graph.Graph) (index.Index, error) {
-				return grail.Build(star, grail.Options{Seed: cfg.Seed}), nil
-			})
-		}},
-		{ID: "PT", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			pt, err := pathtree.Build(g, pathtree.Options{MaxEntries: cfg.MaxPTEntries})
-			if errors.Is(err, pathtree.ErrTooLarge) {
+	byID := make(map[string]Method)
+	for _, d := range index.Descriptors() {
+		id := d.Tag
+		if alias, ok := displayID[id]; ok {
+			id = alias
+		}
+		byID[id] = Method{ID: id, Tag: d.Tag, Build: budgetedBuild(d)}
+	}
+	out := make([]Method, 0, len(MethodOrder))
+	for _, id := range MethodOrder {
+		if m, ok := byID[id]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// budgetedBuild adapts a registry builder to the harness contract:
+// closure-size gates first, then the build with the harness budgets
+// threaded through, with the packages' own budget errors mapped to
+// ErrSkipped ("—").
+func budgetedBuild(d index.Descriptor) func(*graph.Graph, int64, Config) (index.Index, error) {
+	return func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
+		if gate := pairGates[d.Tag]; gate != nil && gate(estPairs, cfg) {
+			return nil, ErrSkipped
+		}
+		idx, err := d.Build(g, index.BuildOptions{
+			Seed:          cfg.Seed,
+			MaxPTEntries:  cfg.MaxPTEntries,
+			TwoHopMaxTime: cfg.TwoHopMaxTime,
+		})
+		if err != nil {
+			if errors.Is(err, pathtree.ErrTooLarge) || errors.Is(err, kreach.ErrTooLarge) ||
+				errors.Is(err, twohop.ErrTooLarge) || errors.Is(err, twohop.ErrTimeout) {
 				return nil, ErrSkipped
 			}
-			return pt, err
-		}},
-		{ID: "PT*", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			s, err := scarab.Build(g, "PT*", func(star *graph.Graph) (index.Index, error) {
-				return pathtree.Build(star, pathtree.Options{MaxEntries: cfg.MaxPTEntries})
-			})
-			if errors.Is(err, pathtree.ErrTooLarge) {
-				return nil, ErrSkipped
-			}
-			return s, err
-		}},
-		{ID: "KR", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			k, err := kreach.BuildWithOptions(g, kreach.Options{})
-			if errors.Is(err, kreach.ErrTooLarge) {
-				return nil, ErrSkipped
-			}
-			return k, err
-		}},
-		{ID: "PW8", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
-			if estPairs > cfg.MaxPW8Pairs {
-				return nil, ErrSkipped
-			}
-			return pwahidx.Build(g), nil
-		}},
-		{ID: "INT", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
-			if estPairs > cfg.MaxINTPairs {
-				return nil, ErrSkipped
-			}
-			return intervalidx.Build(g), nil
-		}},
-		{ID: "2HOP", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			th, err := twohop.Build(g, twohop.Options{MaxTime: cfg.TwoHopMaxTime})
-			if errors.Is(err, twohop.ErrTooLarge) || errors.Is(err, twohop.ErrTimeout) {
-				return nil, ErrSkipped
-			}
-			return th, err
-		}},
-		{ID: "PL", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
-			if estPairs > cfg.MaxPLPairs {
-				return nil, ErrSkipped
-			}
-			return plandmark.Build(g)
-		}},
-		{ID: "TF", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
-			if estPairs > cfg.MaxLabelPairs {
-				return nil, ErrSkipped
-			}
-			return tflabel.Build(g, tflabel.Options{})
-		}},
-		{ID: "HL", Build: func(g *graph.Graph, estPairs int64, cfg Config) (index.Index, error) {
-			if estPairs > cfg.MaxLabelPairs {
-				return nil, ErrSkipped
-			}
-			return core.BuildHL(g, core.HLOptions{})
-		}},
-		{ID: "DL", Build: func(g *graph.Graph, _ int64, cfg Config) (index.Index, error) {
-			return core.BuildDL(g, core.DLOptions{})
-		}},
+			return nil, err
+		}
+		return idx, nil
 	}
 }
 

@@ -16,6 +16,17 @@ func New(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// FromWords reassembles a bitset from its raw storage (see Words). The
+// words slice is aliased, not copied; it must hold exactly ⌈n/64⌉ words,
+// or FromWords returns nil — callers deserializing untrusted data treat
+// that as corruption.
+func FromWords(words []uint64, n int) *Bitset {
+	if n < 0 || len(words) != (n+63)/64 {
+		return nil
+	}
+	return &Bitset{words: words, n: n}
+}
+
 // Len returns the capacity n the set was created with.
 func (b *Bitset) Len() int { return b.n }
 

@@ -1,0 +1,31 @@
+package blockio
+
+// File is a slice-backed Reader over a memory-mapped file.
+type File struct {
+	*Reader
+	close func() error
+}
+
+// Open memory-maps path (or reads it fully on platforms without mmap) and
+// returns a zero-copy-capable Reader over its contents.
+//
+// Close unmaps the file; any slices previously returned by the Reader
+// alias the mapping and must not be touched afterwards. Holding the File
+// open for the life of the decoded structures is the intended usage.
+func Open(path string) (*File, error) {
+	data, closer, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Reader: NewSliceReader(data), close: closer}, nil
+}
+
+// Close releases the mapping. Safe to call more than once.
+func (f *File) Close() error {
+	if f.close == nil {
+		return nil
+	}
+	c := f.close
+	f.close = nil
+	return c()
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package blockio
+
+import "os"
+
+// mmapFile on platforms without a memory-map syscall wrapper reads the
+// whole file; the Reader still gets a slice backend (and hence zero-copy
+// views of that buffer), only the page-cache sharing is lost.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

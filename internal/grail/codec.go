@@ -1,0 +1,67 @@
+package grail
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "GRAIL",
+		Rank: 2,
+		Doc:  "random-interval labels + pruned online search (Yildirim et al., PVLDB 2010)",
+		Build: func(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+			return Build(g, Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			gr, ok := idx.(*Grail)
+			if !ok {
+				return fmt.Errorf("grail: codec got %T", idx)
+			}
+			w.Uint64(uint64(gr.k))
+			for i := 0; i < gr.k; i++ {
+				w.Uint32s(gr.lo[i])
+				w.Uint32s(gr.hi[i])
+			}
+			w.Int32s(gr.level)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			k64, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			if k64 == 0 || k64 > 1024 {
+				return nil, fmt.Errorf("grail: implausible traversal count %d", k64)
+			}
+			k := int(k64)
+			n := g.NumVertices()
+			gr := &Grail{g: g, k: k, lo: make([][]uint32, k), hi: make([][]uint32, k)}
+			for i := 0; i < k; i++ {
+				if gr.lo[i], err = r.Uint32s(); err != nil {
+					return nil, err
+				}
+				if gr.hi[i], err = r.Uint32s(); err != nil {
+					return nil, err
+				}
+				if len(gr.lo[i]) != n || len(gr.hi[i]) != n {
+					return nil, fmt.Errorf("grail: labeling %d has %d/%d entries for %d vertices", i, len(gr.lo[i]), len(gr.hi[i]), n)
+				}
+			}
+			if gr.level, err = r.Int32s(); err != nil {
+				return nil, err
+			}
+			if len(gr.level) != n {
+				return nil, fmt.Errorf("grail: level array has %d entries for %d vertices", len(gr.level), n)
+			}
+			gr.pool = sync.Pool{New: func() any {
+				return &grailScratch{vst: graph.NewVisitor(n), stack: make([]graph.Vertex, 0, 64)}
+			}}
+			return gr, nil
+		},
+	})
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+)
+
+// EncodeCSR writes g's full CSR form — both adjacency directions — as
+// snapshot blocks. Storing the reverse adjacency doubles the section size
+// but is what makes snapshot load O(offsets) instead of O(edges): the
+// alternative (rebuilding inAdj from outAdj) is a counting sort over every
+// edge.
+func EncodeCSR(w *blockio.Writer, g *Graph) {
+	w.Uint64(uint64(g.n))
+	w.Uint32s(g.outOff)
+	w.Uint32s(g.outAdj)
+	w.Uint32s(g.inOff)
+	w.Uint32s(g.inAdj)
+}
+
+// DecodeCSR restores a graph written by EncodeCSR, aliasing the reader's
+// backing buffer where possible (mmap). It performs the linear structural
+// checks — offset monotonicity and coverage, neighbor range, strict
+// sortedness — that make every Out/In/HasEdge call on the result
+// memory-safe even if the file was corrupted; it does NOT re-verify that
+// the forward and reverse adjacency describe the same edge multiset (an
+// O(m) map-based check that belongs in Validate, not on the load path).
+func DecodeCSR(r *blockio.Reader) (*Graph, error) {
+	n64, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > 1<<31 {
+		return nil, fmt.Errorf("graph: implausible vertex count %d", n64)
+	}
+	n := int(n64)
+	outOff, err := r.Uint32s()
+	if err != nil {
+		return nil, err
+	}
+	outAdj, err := r.Uint32s()
+	if err != nil {
+		return nil, err
+	}
+	inOff, err := r.Uint32s()
+	if err != nil {
+		return nil, err
+	}
+	inAdj, err := r.Uint32s()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+	if err := g.validateStructure(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateStructure runs the cheap linear-scan invariants shared by
+// DecodeCSR and Validate.
+func (g *Graph) validateStructure() error {
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays have wrong length (n=%d, |outOff|=%d, |inOff|=%d)",
+			g.n, len(g.outOff), len(g.inOff))
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if int(g.outOff[g.n]) != len(g.outAdj) || int(g.inOff[g.n]) != len(g.inAdj) {
+		return fmt.Errorf("graph: final offsets do not match adjacency lengths")
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: forward edge count %d != reverse edge count %d", len(g.outAdj), len(g.inAdj))
+	}
+	// Prove every offset monotone (and therefore bounded by the final
+	// offset, which matches the adjacency length) BEFORE slicing any
+	// adjacency: with a corrupt non-monotone tail, an earlier offset can
+	// exceed the array even though its own pair looks ordered.
+	for u := 0; u < g.n; u++ {
+		if g.outOff[u] > g.outOff[u+1] || g.inOff[u] > g.inOff[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", u)
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		out := g.Out(Vertex(u))
+		for i, v := range out {
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: out-neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && out[i-1] >= v {
+				return fmt.Errorf("graph: out-adjacency of %d not strictly sorted", u)
+			}
+		}
+		in := g.In(Vertex(u))
+		for i, v := range in {
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: in-neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && in[i-1] >= v {
+				return fmt.Errorf("graph: in-adjacency of %d not strictly sorted", u)
+			}
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns an FNV-1a hash of the graph's structure (vertex
+// count, edge count, offsets, adjacency). Two graphs with the same
+// fingerprint are the same graph for snapshot-compatibility purposes; the
+// snapshot header stores it so a daemon restart can refuse an index built
+// from a different graph.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnvInit()
+	h = fnvUint64(h, uint64(g.n))
+	h = fnvUint64(h, uint64(len(g.outAdj)))
+	h = fnvUint32s(h, g.outOff)
+	h = fnvUint32s(h, g.outAdj)
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvInit() uint64 { return fnvOffset64 }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvUint32s(h uint64, a []uint32) uint64 {
+	for _, v := range a {
+		h ^= uint64(v & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((v >> 8) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64((v >> 16) & 0xff)
+		h *= fnvPrime64
+		h ^= uint64(v >> 24)
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -132,41 +132,8 @@ func (g *Graph) String() string {
 // sortedness, and forward/reverse consistency. It is used by tests and by
 // deserialization; it costs O(n + m).
 func (g *Graph) Validate() error {
-	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
-		return fmt.Errorf("graph: offset arrays have wrong length (n=%d, |outOff|=%d, |inOff|=%d)",
-			g.n, len(g.outOff), len(g.inOff))
-	}
-	if g.outOff[0] != 0 || g.inOff[0] != 0 {
-		return fmt.Errorf("graph: offsets must start at 0")
-	}
-	if int(g.outOff[g.n]) != len(g.outAdj) || int(g.inOff[g.n]) != len(g.inAdj) {
-		return fmt.Errorf("graph: final offsets do not match adjacency lengths")
-	}
-	if len(g.outAdj) != len(g.inAdj) {
-		return fmt.Errorf("graph: forward edge count %d != reverse edge count %d", len(g.outAdj), len(g.inAdj))
-	}
-	for u := 0; u < g.n; u++ {
-		if g.outOff[u] > g.outOff[u+1] || g.inOff[u] > g.inOff[u+1] {
-			return fmt.Errorf("graph: offsets not monotone at vertex %d", u)
-		}
-		out := g.Out(Vertex(u))
-		for i, v := range out {
-			if int(v) >= g.n {
-				return fmt.Errorf("graph: out-neighbor %d of %d out of range", v, u)
-			}
-			if i > 0 && out[i-1] >= v {
-				return fmt.Errorf("graph: out-adjacency of %d not strictly sorted", u)
-			}
-		}
-		in := g.In(Vertex(u))
-		for i, v := range in {
-			if int(v) >= g.n {
-				return fmt.Errorf("graph: in-neighbor %d of %d out of range", v, u)
-			}
-			if i > 0 && in[i-1] >= v {
-				return fmt.Errorf("graph: in-adjacency of %d not strictly sorted", u)
-			}
-		}
+	if err := g.validateStructure(); err != nil {
+		return err
 	}
 	// Forward/reverse consistency: count of (u,v) in out must equal in.
 	seen := make(map[uint64]int, len(g.outAdj))

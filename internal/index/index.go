@@ -1,7 +1,19 @@
 // Package index defines the interface every reachability index in this
-// repository implements, so the benchmark harness and the SCARAB wrapper
-// can treat HL, DL and all baselines uniformly.
+// repository implements, plus the method registry: each method package
+// self-registers a Descriptor (tag, builder, snapshot codec) from init(),
+// so the oracle, the benchmark harness, the CLI tools and the serving
+// daemon all enumerate methods from one place instead of keeping parallel
+// switch statements.
 package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+)
 
 // Index answers reachability queries over a fixed DAG.
 //
@@ -13,6 +25,7 @@ package index
 // hammer test enforces it for every method.
 type Index interface {
 	// Name is the short method tag used in the paper's tables (e.g. "DL").
+	// It must equal the tag the method registered its Descriptor under.
 	Name() string
 	// Reachable reports whether vertex u reaches vertex v.
 	Reachable(u, v uint32) bool
@@ -21,6 +34,106 @@ type Index interface {
 	SizeInts() int64
 }
 
-// Builder constructs an index for a DAG; registered by the harness under
-// the method's table tag.
-type Builder func() (Index, error)
+// BuildOptions tunes index construction; the zero value is the paper's
+// configuration for every method. The first four fields are the
+// algorithmic knobs (persisted in snapshots so rebuild codecs reproduce
+// the same index); the Max* fields are resource budgets the benchmark
+// harness uses to reproduce the paper's "—" table entries (zero means the
+// method package's own default budget).
+type BuildOptions struct {
+	// Epsilon is HL's backbone locality threshold (default 2).
+	Epsilon int
+	// CoreLimit is HL/TF's decomposition stop size (default 1024).
+	CoreLimit int
+	// Seed drives randomized construction (GRAIL) deterministically.
+	Seed int64
+	// Traversals is GRAIL's interval count k (default 5).
+	Traversals int
+
+	// MaxPTEntries bounds PathTree's compressed-closure entries.
+	MaxPTEntries int64
+	// MaxCoverBits bounds K-Reach's cover-closure bitset bits.
+	MaxCoverBits int64
+	// TwoHopMaxVertices refuses 2HOP on larger graphs.
+	TwoHopMaxVertices int
+	// TwoHopMaxTCPairs refuses 2HOP above this estimated closure size.
+	TwoHopMaxTCPairs int64
+	// TwoHopMaxTime aborts 2HOP's greedy loop after this wall-clock budget.
+	TwoHopMaxTime time.Duration
+}
+
+// Builder constructs an index for a DAG.
+type Builder func(g *graph.Graph, opts BuildOptions) (Index, error)
+
+// Descriptor is one method's registry entry. Build constructs the index
+// from a DAG; Encode/Decode serialize it into / out of a snapshot payload.
+// A method whose in-memory form is not worth persisting (online search,
+// the SCARAB wrappers) sets Rebuild and provides an Encode that writes
+// nothing and a Decode that reconstructs from the graph — deterministic
+// because the snapshot header carries the original BuildOptions.
+type Descriptor struct {
+	// Tag is the method identifier; it must equal the Index's Name().
+	Tag string
+	// Rank orders method listings (paper order); ties break by Tag.
+	Rank int
+	// Doc is a one-line description for CLI usage text.
+	Doc string
+	// Rebuild marks a decode that reconstructs from the graph rather than
+	// decoding persisted state.
+	Rebuild bool
+	// Build constructs the index for a DAG.
+	Build Builder
+	// Encode writes the index's persistent state as blockio blocks.
+	Encode func(idx Index, w *blockio.Writer) error
+	// Decode restores an index from blocks written by Encode. The graph is
+	// the same condensed DAG the index was built on; decoders must
+	// validate any structure they will later trust (offsets, ID ranges) so
+	// a corrupt snapshot yields an error, never a query-time panic.
+	Decode func(g *graph.Graph, r *blockio.Reader, opts BuildOptions) (Index, error)
+}
+
+var registry = map[string]Descriptor{}
+
+// Register adds a method descriptor; method packages call it from init().
+// It panics on duplicate tags or incomplete descriptors — both are
+// programming errors, not runtime conditions.
+func Register(d Descriptor) {
+	if d.Tag == "" || d.Build == nil || d.Encode == nil || d.Decode == nil {
+		panic(fmt.Sprintf("index: incomplete descriptor for %q", d.Tag))
+	}
+	if _, dup := registry[d.Tag]; dup {
+		panic(fmt.Sprintf("index: duplicate registration of %q", d.Tag))
+	}
+	registry[d.Tag] = d
+}
+
+// Get returns the descriptor registered under tag.
+func Get(tag string) (Descriptor, bool) {
+	d, ok := registry[tag]
+	return d, ok
+}
+
+// Descriptors returns every registered method, ordered by Rank then Tag.
+func Descriptors() []Descriptor {
+	out := make([]Descriptor, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// Tags returns every registered method tag in Descriptors() order.
+func Tags() []string {
+	ds := Descriptors()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Tag
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package intervalidx
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/tc"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "INT",
+		Rank: 3,
+		Doc:  "Nuutila-style interval-compressed transitive closure",
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return Build(g), nil
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			in, ok := idx.(*Interval)
+			if !ok {
+				return fmt.Errorf("intervalidx: codec got %T", idx)
+			}
+			tc.EncodeSets(w, in.po, in.reach)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			po, reach, err := tc.DecodeSets(r, g.NumVertices())
+			if err != nil {
+				return nil, fmt.Errorf("intervalidx: %w", err)
+			}
+			return &Interval{po: po, reach: reach}, nil
+		},
+	})
+}

@@ -1,0 +1,86 @@
+package kreach
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "KR",
+		Rank: 6,
+		Doc:  "K-Reach (k = ∞): vertex cover + materialized cover closure",
+		Build: func(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+			return BuildWithOptions(g, Options{MaxCoverBits: opts.MaxCoverBits})
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			k, ok := idx.(*KReach)
+			if !ok {
+				return fmt.Errorf("kreach: codec got %T", idx)
+			}
+			w.Int32s(k.coverID)
+			w.Uint32s(k.cover)
+			c := len(k.cover)
+			flat := make([]uint64, 0, c*((c+63)/64))
+			for _, b := range k.reach {
+				flat = append(flat, b.Words()...)
+			}
+			w.Uint64s(flat)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			n := g.NumVertices()
+			coverID, err := r.Int32s()
+			if err != nil {
+				return nil, err
+			}
+			if len(coverID) != n {
+				return nil, fmt.Errorf("kreach: cover-ID array has %d entries for %d vertices", len(coverID), n)
+			}
+			cover, err := r.Uint32s()
+			if err != nil {
+				return nil, err
+			}
+			c := len(cover)
+			if c > n {
+				return nil, fmt.Errorf("kreach: cover of %d vertices exceeds graph size %d", c, n)
+			}
+			for v, id := range coverID {
+				if id < -1 || int(id) >= c {
+					return nil, fmt.Errorf("kreach: cover ID %d of vertex %d out of range [-1, %d)", id, v, c)
+				}
+			}
+			flat, err := r.Uint64s()
+			if err != nil {
+				return nil, err
+			}
+			wps := (c + 63) / 64
+			if len(flat) != c*wps {
+				return nil, fmt.Errorf("kreach: closure has %d words, want %d", len(flat), c*wps)
+			}
+			k := &KReach{g: g, coverID: coverID, cover: cover, reach: make([]*bitset.Bitset, c)}
+			for i := 0; i < c; i++ {
+				k.reach[i] = bitset.FromWords(flat[i*wps:(i+1)*wps], c)
+			}
+			// The query path relies on the cover property — every edge has a
+			// covered endpoint — to look up coverID of a neighbor without
+			// checking for -1. Verify it holds before trusting the file.
+			violated := false
+			g.Edges(func(u, v graph.Vertex) bool {
+				if coverID[u] < 0 && coverID[v] < 0 {
+					violated = true
+					return false
+				}
+				return true
+			})
+			if violated {
+				return nil, fmt.Errorf("kreach: snapshot cover does not cover every edge of the graph")
+			}
+			return k, nil
+		},
+	})
+}

@@ -1,0 +1,74 @@
+package pathtree
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "PT",
+		Rank: 5,
+		Doc:  "path-decomposition transitive-closure compression (Path-Tree lineage)",
+		Build: func(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+			return Build(g, Options{MaxEntries: opts.MaxPTEntries})
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			pt, ok := idx.(*PathTree)
+			if !ok {
+				return fmt.Errorf("pathtree: codec got %T", idx)
+			}
+			w.Uint64(uint64(pt.numPaths))
+			w.Uint32s(pt.pathOf)
+			w.Uint32s(pt.posOf)
+			w.Uint32s(pt.off)
+			w.Uint32s(pt.paths)
+			w.Uint32s(pt.minPo)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			n := g.NumVertices()
+			numPaths, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			if numPaths > uint64(n) {
+				return nil, fmt.Errorf("pathtree: %d paths for %d vertices", numPaths, n)
+			}
+			pt := &PathTree{numPaths: int(numPaths)}
+			if pt.pathOf, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pt.posOf, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pt.off, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pt.paths, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pt.minPo, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if len(pt.pathOf) != n || len(pt.posOf) != n {
+				return nil, fmt.Errorf("pathtree: vertex arrays have %d/%d entries for %d vertices", len(pt.pathOf), len(pt.posOf), n)
+			}
+			if len(pt.off) != n+1 || pt.off[0] != 0 {
+				return nil, fmt.Errorf("pathtree: reach offsets have %d entries for %d vertices", len(pt.off), n)
+			}
+			for v := 0; v < n; v++ {
+				if pt.off[v] > pt.off[v+1] {
+					return nil, fmt.Errorf("pathtree: reach offsets not monotone at %d", v)
+				}
+			}
+			if int(pt.off[n]) != len(pt.paths) || len(pt.minPo) != len(pt.paths) {
+				return nil, fmt.Errorf("pathtree: reach offsets cover %d entries but %d/%d present", pt.off[n], len(pt.paths), len(pt.minPo))
+			}
+			return pt, nil
+		},
+	})
+}

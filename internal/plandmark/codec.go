@@ -1,0 +1,78 @@
+package plandmark
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "PL",
+		Rank: 9,
+		Doc:  "pruned landmark distance labeling (Akiba et al.), answers distance too",
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return Build(g)
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			pl, ok := idx.(*PL)
+			if !ok {
+				return fmt.Errorf("plandmark: codec got %T", idx)
+			}
+			w.Uint32s(pl.outOff)
+			w.Uint32s(pl.outHop)
+			w.Int32s(pl.outDist)
+			w.Uint32s(pl.inOff)
+			w.Uint32s(pl.inHop)
+			w.Int32s(pl.inDist)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			n := g.NumVertices()
+			pl := &PL{}
+			var err error
+			if pl.outOff, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pl.outHop, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pl.outDist, err = r.Int32s(); err != nil {
+				return nil, err
+			}
+			if pl.inOff, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pl.inHop, err = r.Uint32s(); err != nil {
+				return nil, err
+			}
+			if pl.inDist, err = r.Int32s(); err != nil {
+				return nil, err
+			}
+			for _, side := range []struct {
+				name     string
+				off, hop []uint32
+				dist     []int32
+			}{
+				{"out", pl.outOff, pl.outHop, pl.outDist},
+				{"in", pl.inOff, pl.inHop, pl.inDist},
+			} {
+				if len(side.off) != n+1 || side.off[0] != 0 {
+					return nil, fmt.Errorf("plandmark: %s offsets have %d entries for %d vertices", side.name, len(side.off), n)
+				}
+				for v := 0; v < n; v++ {
+					if side.off[v] > side.off[v+1] {
+						return nil, fmt.Errorf("plandmark: %s offsets not monotone at %d", side.name, v)
+					}
+				}
+				if int(side.off[n]) != len(side.hop) || len(side.dist) != len(side.hop) {
+					return nil, fmt.Errorf("plandmark: %s offsets cover %d labels but %d/%d present",
+						side.name, side.off[n], len(side.hop), len(side.dist))
+				}
+			}
+			return pl, nil
+		},
+	})
+}

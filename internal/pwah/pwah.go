@@ -43,6 +43,28 @@ type Vector struct {
 // size metric for PW8 counts these as two 32-bit integers each).
 func (v *Vector) Words() int { return len(v.words) }
 
+// RawWords exposes the encoded words for serialization. Shared storage;
+// do not modify.
+func (v *Vector) RawWords() []uint64 { return v.words }
+
+// Parts returns the number of partitions used, the second half of the
+// encoding's state (the last word may be partially filled).
+func (v *Vector) Parts() int { return v.parts }
+
+// FromEncoded reassembles a Vector from its serialized state. The words
+// slice is aliased, not copied. parts must describe the same encoding the
+// words came from; a mismatched value degrades answers but cannot read
+// out of bounds (Contains iterates min(parts, 8*len(words)) partitions).
+func FromEncoded(words []uint64, parts int) *Vector {
+	if max := len(words) * partsPerWord; parts > max {
+		parts = max
+	}
+	if parts < 0 {
+		parts = 0
+	}
+	return &Vector{words: words, parts: parts}
+}
+
 // SizeInts reports the index-size contribution in 32-bit integer units,
 // matching the "number of integers" metric of the paper's Figures 3 and 4.
 func (v *Vector) SizeInts() int64 { return int64(len(v.words)) * 2 }

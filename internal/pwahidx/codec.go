@@ -1,0 +1,87 @@
+package pwahidx
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/pwah"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "PW8",
+		Rank: 4,
+		Doc:  "PWAH-8 compressed-bitvector transitive closure (van Schaik & de Moor)",
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return Build(g), nil
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			p, ok := idx.(*PWAH)
+			if !ok {
+				return fmt.Errorf("pwahidx: codec got %T", idx)
+			}
+			w.Uint32s(p.po)
+			off := make([]uint32, len(p.reach)+1)
+			parts := make([]uint32, len(p.reach))
+			total := 0
+			for v, vec := range p.reach {
+				total += vec.Words()
+				off[v+1] = uint32(total)
+				parts[v] = uint32(vec.Parts())
+			}
+			w.Uint32s(off)
+			w.Uint32s(parts)
+			flat := make([]uint64, 0, total)
+			for _, vec := range p.reach {
+				flat = append(flat, vec.RawWords()...)
+			}
+			w.Uint64s(flat)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			n := g.NumVertices()
+			po, err := r.Uint32s()
+			if err != nil {
+				return nil, err
+			}
+			if len(po) != n {
+				return nil, fmt.Errorf("pwahidx: numbering has %d entries for %d vertices", len(po), n)
+			}
+			off, err := r.Uint32s()
+			if err != nil {
+				return nil, err
+			}
+			if len(off) != n+1 || off[0] != 0 {
+				return nil, fmt.Errorf("pwahidx: word offsets have %d entries for %d vertices", len(off), n)
+			}
+			for v := 0; v < n; v++ {
+				if off[v] > off[v+1] {
+					return nil, fmt.Errorf("pwahidx: word offsets not monotone at %d", v)
+				}
+			}
+			parts, err := r.Uint32s()
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) != n {
+				return nil, fmt.Errorf("pwahidx: partition counts have %d entries for %d vertices", len(parts), n)
+			}
+			flat, err := r.Uint64s()
+			if err != nil {
+				return nil, err
+			}
+			if int(off[n]) != len(flat) {
+				return nil, fmt.Errorf("pwahidx: word offsets cover %d words but %d present", off[n], len(flat))
+			}
+			idx := &PWAH{po: po, reach: make([]*pwah.Vector, n)}
+			for v := 0; v < n; v++ {
+				// FromEncoded clamps an oversized partition count, so a
+				// corrupt parts[v] cannot push the scan past its words.
+				idx.reach[v] = pwah.FromEncoded(flat[off[v]:off[v+1]], int(parts[v]))
+			}
+			return idx, nil
+		},
+	})
+}

@@ -1,0 +1,52 @@
+package scarab
+
+import (
+	"repro/internal/blockio"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/pathtree"
+)
+
+// The SCARAB wrappers use rebuild codecs: their state is a backbone
+// subgraph plus an inner index over it, and both are cheap, deterministic
+// functions of the graph and the build options the snapshot header
+// already records — re-extracting the backbone on load is far simpler
+// than a second level of nested index serialization, and the backbone is
+// a small fraction of the graph by construction.
+func init() {
+	index.Register(index.Descriptor{
+		Tag:     "GL*",
+		Rank:    10,
+		Doc:     "SCARAB: GRAIL on the ε = 2 reachability backbone",
+		Rebuild: true,
+		Build:   buildGL,
+		Encode:  func(_ index.Index, _ *blockio.Writer) error { return nil },
+		Decode: func(g *graph.Graph, _ *blockio.Reader, opts index.BuildOptions) (index.Index, error) {
+			return buildGL(g, opts)
+		},
+	})
+	index.Register(index.Descriptor{
+		Tag:     "PT*",
+		Rank:    11,
+		Doc:     "SCARAB: PathTree on the ε = 2 reachability backbone",
+		Rebuild: true,
+		Build:   buildPT,
+		Encode:  func(_ index.Index, _ *blockio.Writer) error { return nil },
+		Decode: func(g *graph.Graph, _ *blockio.Reader, opts index.BuildOptions) (index.Index, error) {
+			return buildPT(g, opts)
+		},
+	})
+}
+
+func buildGL(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+	return Build(g, "GL*", func(star *graph.Graph) (index.Index, error) {
+		return grail.Build(star, grail.Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
+	})
+}
+
+func buildPT(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+	return Build(g, "PT*", func(star *graph.Graph) (index.Index, error) {
+		return pathtree.Build(star, pathtree.Options{MaxEntries: opts.MaxPTEntries})
+	})
+}

@@ -1,0 +1,39 @@
+package search
+
+import (
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// The online searchers are index-free: their only state is the graph the
+// snapshot already carries, so their codecs are pure rebuild — Encode
+// writes nothing and Decode reconstructs from the graph.
+func init() {
+	index.Register(index.Descriptor{
+		Tag:     "BFS",
+		Rank:    12,
+		Doc:     "index-free online breadth-first search",
+		Rebuild: true,
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return NewBFS(g), nil
+		},
+		Encode: func(_ index.Index, _ *blockio.Writer) error { return nil },
+		Decode: func(g *graph.Graph, _ *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			return NewBFS(g), nil
+		},
+	})
+	index.Register(index.Descriptor{
+		Tag:     "BiBFS",
+		Rank:    13,
+		Doc:     "index-free bidirectional search, smaller-frontier-first",
+		Rebuild: true,
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return NewBidirectional(g), nil
+		},
+		Encode: func(_ index.Index, _ *blockio.Writer) error { return nil },
+		Decode: func(g *graph.Graph, _ *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			return NewBidirectional(g), nil
+		},
+	})
+}

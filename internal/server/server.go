@@ -220,6 +220,9 @@ type GraphStats struct {
 type IndexStats struct {
 	Method   string `json:"method"`
 	SizeInts int64  `json:"size_ints"`
+	// Source is "snapshot" when the index was restored from a snapshot
+	// file, "built" when it was constructed from the graph at startup.
+	Source string `json:"source"`
 }
 
 // Stats is the full /v1/stats payload.
@@ -228,6 +231,13 @@ type Stats struct {
 	Index  IndexStats  `json:"index"`
 	Cache  CacheStats  `json:"cache"`
 	Server ServerStats `json:"server"`
+}
+
+func indexSource(o *reach.Oracle) string {
+	if o.Loaded() {
+		return "snapshot"
+	}
+	return "built"
 }
 
 // Stats snapshots every layer's counters.
@@ -241,6 +251,7 @@ func (s *Server) Stats() Stats {
 		Index: IndexStats{
 			Method:   s.oracle.Method(),
 			SizeInts: s.oracle.IndexSizeInts(),
+			Source:   indexSource(s.oracle),
 		},
 		Cache:  s.cache.stats(),
 		Server: s.met.snapshot(s.cfg.Workers),

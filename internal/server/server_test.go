@@ -350,8 +350,9 @@ func TestOrigIDMapping(t *testing.T) {
 	}
 }
 
-// TestSnapshotRoundTripServing proves the reachd restart path: serialize
-// the labeling, restore with LoadOracle, and serve identical answers.
+// TestSnapshotRoundTripServing proves the reachd restart path: save the
+// oracle snapshot, restore it, and serve identical answers — with
+// /v1/stats reporting where each server's index came from.
 func TestSnapshotRoundTripServing(t *testing.T) {
 	g, _, ts := fixture(t, Config{})
 	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
@@ -359,17 +360,27 @@ func TestSnapshotRoundTripServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := oracle.WriteLabeling(&buf); err != nil {
+	if err := oracle.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := reach.LoadOracle(g, &buf)
+	loaded, err := reach.LoadBytes(buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := New(g, loaded, Config{})
+	s2 := New(loaded.Graph(), loaded, Config{})
 	defer s2.Close()
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()
+
+	var st, st2 Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	getJSON(t, ts2.URL+"/v1/stats", &st2)
+	if st.Index.Source != "built" {
+		t.Fatalf("built server reports source %q", st.Index.Source)
+	}
+	if st2.Index.Source != "snapshot" || st2.Index.Method != "DL" || st2.Index.SizeInts != oracle.IndexSizeInts() {
+		t.Fatalf("snapshot server reports %+v", st2.Index)
+	}
 
 	rng := rand.New(rand.NewSource(5))
 	n := g.NumVertices()

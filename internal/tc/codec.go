@@ -1,0 +1,66 @@
+package tc
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+)
+
+// EncodeSets writes a (renumbering, per-vertex interval set) pair — the
+// shared snapshot layout of the INT and TCOV indexes: the numbering
+// array, a per-vertex interval-count offset array, and flat [lo, hi]
+// pairs.
+func EncodeSets(w *blockio.Writer, num []uint32, reach []IntervalSet) {
+	w.Uint32s(num)
+	off := make([]uint32, len(reach)+1)
+	total := 0
+	for v, s := range reach {
+		total += len(s)
+		off[v+1] = uint32(total)
+	}
+	w.Uint32s(off)
+	flat := make([]uint32, 0, 2*total)
+	for _, s := range reach {
+		flat = s.AppendPairs(flat)
+	}
+	w.Uint32s(flat)
+}
+
+// DecodeSets reads the layout written by EncodeSets for an n-vertex
+// graph, aliasing the flat pair array where the reader allows. The offset
+// structure is fully validated so the per-vertex sets are always in
+// bounds; interval bounds themselves are not range-checked (Contains only
+// compares them, so arbitrary values are memory-safe).
+func DecodeSets(r *blockio.Reader, n int) (num []uint32, reach []IntervalSet, err error) {
+	if num, err = r.Uint32s(); err != nil {
+		return nil, nil, err
+	}
+	if len(num) != n {
+		return nil, nil, fmt.Errorf("tc: numbering has %d entries for %d vertices", len(num), n)
+	}
+	off, err := r.Uint32s()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(off) != n+1 || off[0] != 0 {
+		return nil, nil, fmt.Errorf("tc: interval offsets have %d entries for %d vertices", len(off), n)
+	}
+	for v := 0; v < n; v++ {
+		if off[v] > off[v+1] {
+			return nil, nil, fmt.Errorf("tc: interval offsets not monotone at %d", v)
+		}
+	}
+	flat, err := r.Uint32s()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(flat)%2 != 0 || int(off[n]) != len(flat)/2 {
+		return nil, nil, fmt.Errorf("tc: interval offsets cover %d intervals but %d pair values present", off[n], len(flat))
+	}
+	all := IntervalsFromPairs(flat)
+	reach = make([]IntervalSet, n)
+	for v := 0; v < n; v++ {
+		reach[v] = all[off[v]:off[v+1]]
+	}
+	return num, reach, nil
+}

@@ -1,6 +1,9 @@
 package tc
 
-import "sort"
+import (
+	"sort"
+	"unsafe"
+)
 
 // Interval is an inclusive range [Lo, Hi] of vertex numbers.
 type Interval struct {
@@ -79,6 +82,34 @@ func MergeIntervalSets(sets ...IntervalSet) IntervalSet {
 		}
 	}
 	return out
+}
+
+// IntervalsFromPairs reinterprets a flat [lo0, hi0, lo1, hi1, ...] array
+// as an IntervalSet. On little-endian hosts with 4-byte-aligned input the
+// result aliases pairs (Interval is exactly two uint32s), which is what
+// lets a snapshot's interval sections decode zero-copy from an mmap'd
+// file; otherwise it copies. The pair count must be even.
+func IntervalsFromPairs(pairs []uint32) IntervalSet {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&pairs[0]))&3 == 0 {
+		return unsafe.Slice((*Interval)(unsafe.Pointer(&pairs[0])), len(pairs)/2)
+	}
+	out := make(IntervalSet, len(pairs)/2)
+	for i := range out {
+		out[i] = Interval{Lo: pairs[2*i], Hi: pairs[2*i+1]}
+	}
+	return out
+}
+
+// AppendPairs appends the set's intervals to dst as flat [lo, hi] pairs —
+// the inverse of IntervalsFromPairs, used when encoding snapshots.
+func (s IntervalSet) AppendPairs(dst []uint32) []uint32 {
+	for _, iv := range s {
+		dst = append(dst, iv.Lo, iv.Hi)
+	}
+	return dst
 }
 
 // AddValue returns s with the single value x included (normalized).

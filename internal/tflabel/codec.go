@@ -1,0 +1,35 @@
+package tflabel
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "TF",
+		Rank: 8,
+		Doc:  "TF-label (Cheng et al.): the ε = 1 special case of HL",
+		Build: func(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+			return Build(g, Options{CoreLimit: opts.CoreLimit})
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			t, ok := idx.(*TF)
+			if !ok {
+				return fmt.Errorf("tflabel: codec got %T", idx)
+			}
+			return core.EncodeHL(t.hl, w)
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			hl, err := core.DecodeHL(g, r)
+			if err != nil {
+				return nil, err
+			}
+			return &TF{hl: hl}, nil
+		},
+	})
+}

@@ -1,0 +1,36 @@
+package treecover
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/tc"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "TCOV",
+		Rank: 14,
+		Doc:  "Agrawal optimal tree cover (SIGMOD 1989), tree-interval TC compression",
+		Build: func(g *graph.Graph, _ index.BuildOptions) (index.Index, error) {
+			return Build(g)
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			t, ok := idx.(*TreeCover)
+			if !ok {
+				return fmt.Errorf("treecover: codec got %T", idx)
+			}
+			tc.EncodeSets(w, t.post, t.reach)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			post, reach, err := tc.DecodeSets(r, g.NumVertices())
+			if err != nil {
+				return nil, fmt.Errorf("treecover: %w", err)
+			}
+			return &TreeCover{post: post, reach: reach}, nil
+		},
+	})
+}

@@ -1,0 +1,43 @@
+package twohop
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/graph"
+	"repro/internal/hoplabel"
+	"repro/internal/index"
+)
+
+func init() {
+	index.Register(index.Descriptor{
+		Tag:  "2HOP",
+		Rank: 7,
+		Doc:  "set-cover 2-hop labeling (Cohen et al.); Θ(TC) construction",
+		Build: func(g *graph.Graph, opts index.BuildOptions) (index.Index, error) {
+			return Build(g, Options{
+				MaxVertices: opts.TwoHopMaxVertices,
+				MaxTCPairs:  opts.TwoHopMaxTCPairs,
+				MaxTime:     opts.TwoHopMaxTime,
+			})
+		},
+		Encode: func(idx index.Index, w *blockio.Writer) error {
+			th, ok := idx.(*TwoHop)
+			if !ok {
+				return fmt.Errorf("twohop: codec got %T", idx)
+			}
+			th.labeling.Encode(w)
+			return w.Err()
+		},
+		Decode: func(g *graph.Graph, r *blockio.Reader, _ index.BuildOptions) (index.Index, error) {
+			l, err := hoplabel.Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			if l.NumVertices() != g.NumVertices() {
+				return nil, fmt.Errorf("twohop: labeling has %d vertices, graph has %d", l.NumVertices(), g.NumVertices())
+			}
+			return &TwoHop{labeling: l}, nil
+		},
+	})
+}

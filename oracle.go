@@ -3,22 +3,29 @@ package reach
 import (
 	"fmt"
 	"io"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/grail"
-	"repro/internal/graph"
+	"repro/internal/blockio"
 	"repro/internal/hoplabel"
 	"repro/internal/index"
-	"repro/internal/intervalidx"
-	"repro/internal/kreach"
-	"repro/internal/pathtree"
-	"repro/internal/plandmark"
-	"repro/internal/pwahidx"
-	"repro/internal/scarab"
-	"repro/internal/search"
-	"repro/internal/tflabel"
-	"repro/internal/treecover"
-	"repro/internal/twohop"
+	"repro/internal/snapshot"
+
+	// Every index method self-registers a descriptor — builder plus
+	// snapshot codec — with the internal/index registry from init().
+	// Importing the packages is what populates Methods(); adding a method
+	// to the system is adding one import here and one Register call there.
+	_ "repro/internal/core"
+	_ "repro/internal/grail"
+	_ "repro/internal/intervalidx"
+	_ "repro/internal/kreach"
+	_ "repro/internal/pathtree"
+	_ "repro/internal/plandmark"
+	_ "repro/internal/pwahidx"
+	_ "repro/internal/scarab"
+	_ "repro/internal/search"
+	_ "repro/internal/tflabel"
+	_ "repro/internal/treecover"
+	_ "repro/internal/twohop"
 )
 
 // Method selects a reachability index algorithm.
@@ -79,6 +86,15 @@ type Options struct {
 	Traversals int
 }
 
+func (o Options) buildOptions() index.BuildOptions {
+	return index.BuildOptions{
+		Epsilon:    o.Epsilon,
+		CoreLimit:  o.CoreLimit,
+		Seed:       o.Seed,
+		Traversals: o.Traversals,
+	}
+}
+
 // Oracle answers reachability queries on a Graph through a built index.
 //
 // Once built, an Oracle is immutable and all query methods (Reachable,
@@ -87,71 +103,40 @@ type Options struct {
 // sync.Pool. This is the contract the reachd serving layer builds on, and
 // it is enforced for every method by a race-enabled hammer test.
 type Oracle struct {
-	g   *Graph
-	idx index.Index
+	g    *Graph
+	idx  index.Index
+	opts index.BuildOptions
+	// loaded records that the index came from a snapshot rather than a
+	// build; surfaced by /v1/stats.
+	loaded bool
+	// closer releases the snapshot file mapping for mmap-loaded oracles.
+	closer func() error
 }
 
 // Build constructs a reachability oracle over g with the chosen method.
+// Methods are resolved through the index registry; Methods() lists them.
 func Build(g *Graph, m Method, opts Options) (*Oracle, error) {
-	idx, err := buildIndex(g, m, opts)
+	d, ok := index.Get(string(m))
+	if !ok {
+		return nil, fmt.Errorf("reach: unknown method %q (have %v)", m, Methods())
+	}
+	bopts := opts.buildOptions()
+	idx, err := d.Build(g.dag, bopts)
 	if err != nil {
 		return nil, err
 	}
-	return &Oracle{g: g, idx: idx}, nil
+	return &Oracle{g: g, idx: idx, opts: bopts}, nil
 }
 
-func buildIndex(g *Graph, m Method, opts Options) (index.Index, error) {
-	dag := g.dag
-	switch m {
-	case MethodDL:
-		return core.BuildDL(dag, core.DLOptions{Seed: opts.Seed})
-	case MethodHL:
-		return core.BuildHL(dag, core.HLOptions{
-			Epsilon: opts.Epsilon, CoreLimit: opts.CoreLimit,
-		})
-	case MethodGRAIL:
-		return grail.Build(dag, grail.Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
-	case MethodInterval:
-		return intervalidx.Build(dag), nil
-	case MethodPWAH:
-		return pwahidx.Build(dag), nil
-	case MethodPathTree:
-		return pathtree.Build(dag, pathtree.Options{})
-	case MethodKReach:
-		return kreach.BuildWithOptions(dag, kreach.Options{})
-	case Method2Hop:
-		return twohop.Build(dag, twohop.Options{})
-	case MethodTFLabel:
-		return tflabel.Build(dag, tflabel.Options{CoreLimit: opts.CoreLimit})
-	case MethodPrunedLandmark:
-		return plandmark.Build(dag)
-	case MethodScarabGRAIL:
-		return scarab.Build(dag, "GL*", func(star *graph.Graph) (index.Index, error) {
-			return grail.Build(star, grail.Options{Traversals: opts.Traversals, Seed: opts.Seed}), nil
-		})
-	case MethodScarabPathTree:
-		return scarab.Build(dag, "PT*", func(star *graph.Graph) (index.Index, error) {
-			return pathtree.Build(star, pathtree.Options{})
-		})
-	case MethodBFS:
-		return search.NewBFS(dag), nil
-	case MethodBiBFS:
-		return search.NewBidirectional(dag), nil
-	case MethodTreeCover:
-		return treecover.Build(dag)
-	default:
-		return nil, fmt.Errorf("reach: unknown method %q", m)
-	}
-}
-
-// Methods lists every available method identifier.
+// Methods lists every registered method identifier, contribution methods
+// first (the registry's rank order follows the paper's tables).
 func Methods() []Method {
-	return []Method{
-		MethodDL, MethodHL, MethodGRAIL, MethodInterval, MethodPWAH,
-		MethodPathTree, MethodKReach, Method2Hop, MethodTFLabel,
-		MethodPrunedLandmark, MethodScarabGRAIL, MethodScarabPathTree,
-		MethodBFS, MethodBiBFS, MethodTreeCover,
+	tags := index.Tags()
+	out := make([]Method, len(tags))
+	for i, t := range tags {
+		out[i] = Method(t)
 	}
+	return out
 }
 
 // Reachable reports whether original vertex u reaches original vertex v.
@@ -192,19 +177,30 @@ func (o *Oracle) Method() string { return o.idx.Name() }
 // the paper's Figures 3 and 4.
 func (o *Oracle) IndexSizeInts() int64 { return o.idx.SizeInts() }
 
+// Graph returns the graph the oracle answers queries over. For
+// snapshot-loaded oracles this is the graph reconstructed from the
+// snapshot's condensation section.
+func (o *Oracle) Graph() *Graph { return o.g }
+
+// Loaded reports whether the oracle was restored from a snapshot rather
+// than built.
+func (o *Oracle) Loaded() bool { return o.loaded }
+
+// Close releases the snapshot file mapping backing an oracle returned by
+// Load. It is a no-op for built oracles. The oracle (and its Graph) must
+// not be used afterwards.
+func (o *Oracle) Close() error {
+	if o.closer == nil {
+		return nil
+	}
+	c := o.closer
+	o.closer = nil
+	return c()
+}
+
 // labeled is implemented by the hop-labeling indexes (DL, HL, TF, 2HOP).
 type labeled interface {
 	Labeling() *hoplabel.Labeling
-}
-
-// WriteLabeling serializes the oracle's hop labeling, if the method is a
-// labeling method (DL, HL, 2HOP); other methods return an error.
-func (o *Oracle) WriteLabeling(w io.Writer) error {
-	l, ok := o.idx.(labeled)
-	if !ok {
-		return fmt.Errorf("reach: method %s has no serializable labeling", o.idx.Name())
-	}
-	return l.Labeling().Write(w)
 }
 
 // LabelStats returns hop-label statistics for labeling methods.
@@ -216,37 +212,112 @@ func (o *Oracle) LabelStats() (hoplabel.Stats, error) {
 	return l.Labeling().ComputeStats(), nil
 }
 
-// loadedIndex adapts a deserialized labeling to the index interface.
-type loadedIndex struct {
-	l    *hoplabel.Labeling
-	name string
+// Save serializes the oracle — graph condensation, original vertex IDs
+// when known, and index — as one snapshot. Any method in Methods() can be
+// saved: methods with persistent state write it; the rest (online search,
+// SCARAB wrappers) write a rebuild marker that Load replays
+// deterministically from the stored build options.
+func (o *Oracle) Save(w io.Writer) error {
+	d, ok := index.Get(o.idx.Name())
+	if !ok {
+		return fmt.Errorf("reach: method %q is not registered", o.idx.Name())
+	}
+	return snapshot.Write(w, &snapshot.Snapshot{
+		Tag:         d.Tag,
+		Opts:        o.opts,
+		OriginalN:   o.g.originalN,
+		Comp:        o.g.comp,
+		DAG:         o.g.dag,
+		OrigIDs:     o.g.origIDs,
+		Fingerprint: o.g.Fingerprint(),
+	}, func(bw *blockio.Writer) error {
+		return d.Encode(o.idx, bw)
+	})
 }
 
-func (x *loadedIndex) Name() string                 { return x.name }
-func (x *loadedIndex) Reachable(u, v uint32) bool   { return x.l.Reachable(u, v) }
-func (x *loadedIndex) SizeInts() int64              { return x.l.SizeInts() }
-func (x *loadedIndex) Labeling() *hoplabel.Labeling { return x.l }
-
-// LoadOracle restores an oracle from a labeling previously serialized with
-// WriteLabeling. The graph must be the same one (same vertex count after
-// condensation) the labeling was built for; hop labelings carry no graph
-// data of their own — callers that need a stronger identity check (or the
-// original method tag) should store those alongside, as cmd/reachd's
-// snapshot header does. Method() reports "loaded".
-func LoadOracle(g *Graph, r io.Reader) (*Oracle, error) {
-	return LoadOracleNamed(g, r, "loaded")
+// SaveFile writes the snapshot to path atomically: the bytes go to a
+// temporary file that is fsynced and renamed into place, so a crash
+// mid-save can never leave a truncated snapshot under the final name.
+func (o *Oracle) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := o.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
-// LoadOracleNamed is LoadOracle but tags the restored index with the
-// method name it was built with (e.g. "DL"), so Method() reports it.
-func LoadOracleNamed(g *Graph, r io.Reader, method string) (*Oracle, error) {
-	l, err := hoplabel.Read(r)
+// Load restores an oracle from a snapshot file by memory-mapping it: the
+// graph CSR and any hop-labeling payload become zero-copy views of the
+// mapping, so load time is governed by the file open, not the index size.
+// Call Close on the returned oracle to release the mapping when done.
+func Load(path string) (*Oracle, error) {
+	snap, err := snapshot.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if l.NumVertices() != g.DAGVertices() {
-		return nil, fmt.Errorf("reach: labeling has %d vertices but graph's DAG has %d",
-			l.NumVertices(), g.DAGVertices())
+	o, err := fromSnapshot(snap)
+	if err != nil {
+		snap.Close()
+		return nil, err
 	}
-	return &Oracle{g: g, idx: &loadedIndex{l: l, name: method}}, nil
+	o.closer = snap.Close
+	return o, nil
+}
+
+// LoadFrom restores an oracle from a snapshot stream — the copying
+// fallback for sources that cannot be memory-mapped.
+func LoadFrom(r io.Reader) (*Oracle, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromSnapshot(snap)
+}
+
+// LoadBytes restores an oracle from an in-memory snapshot through the
+// same zero-copy decode path Load uses for mapped files; data must
+// outlive the oracle.
+func LoadBytes(data []byte) (*Oracle, error) {
+	snap, err := snapshot.ReadBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	return fromSnapshot(snap)
+}
+
+func fromSnapshot(snap *snapshot.Snapshot) (*Oracle, error) {
+	g := &Graph{
+		dag:       snap.DAG,
+		comp:      snap.Comp,
+		originalN: snap.OriginalN,
+		origIDs:   snap.OrigIDs,
+	}
+	// The header fingerprint was computed from the live graph at save
+	// time; recomputing it over the decoded sections catches corruption
+	// that is structurally valid (e.g. a flipped adjacency entry) and
+	// would otherwise silently change answers.
+	if got := g.Fingerprint(); got != snap.Fingerprint {
+		return nil, fmt.Errorf("reach: snapshot graph fingerprint %x does not match recorded %x: file corrupt",
+			got, snap.Fingerprint)
+	}
+	idx, err := snap.DecodeIndex()
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{g: g, idx: idx, opts: snap.Opts, loaded: true}, nil
 }

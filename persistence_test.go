@@ -3,6 +3,7 @@ package reach
 import (
 	"bytes"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -10,57 +11,140 @@ import (
 	"repro/internal/graph"
 )
 
-func TestLoadOracleRoundTrip(t *testing.T) {
+func persistenceFixture(t testing.TB) (*Graph, int) {
+	t.Helper()
 	raw := gen.CitationDAG(500, 3, 0.5, 17)
-	edges := make([][2]uint32, 0, raw.NumEdges())
+	edges := make([][2]uint32, 0, raw.NumEdges()+3)
 	raw.Edges(func(u, v graph.Vertex) bool {
 		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
 		return true
 	})
-	g, err := NewGraph(raw.NumVertices(), edges)
+	// Add a cycle so the condensation map is non-trivial.
+	n := raw.NumVertices()
+	edges = append(edges, [2]uint32{uint32(n - 1), 0}, [2]uint32{0, uint32(n - 2)})
+	g, err := NewGraph(n, edges)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []Method{MethodDL, MethodHL, Method2Hop} {
-		built, err := Build(g, m, Options{})
-		if err != nil {
-			t.Fatalf("%s: %v", m, err)
-		}
-		var buf bytes.Buffer
-		if err := built.WriteLabeling(&buf); err != nil {
-			t.Fatalf("%s: %v", m, err)
-		}
-		loaded, err := LoadOracle(g, &buf)
-		if err != nil {
-			t.Fatalf("%s: %v", m, err)
-		}
-		if loaded.IndexSizeInts() != built.IndexSizeInts() {
-			t.Fatalf("%s: size changed across serialization", m)
-		}
-		rng := rand.New(rand.NewSource(3))
-		for q := 0; q < 2000; q++ {
-			u := uint32(rng.Intn(raw.NumVertices()))
-			v := uint32(rng.Intn(raw.NumVertices()))
-			if built.Reachable(u, v) != loaded.Reachable(u, v) {
-				t.Fatalf("%s: loaded oracle disagrees on (%d,%d)", m, u, v)
+	return g, n
+}
+
+// TestSnapshotRoundTripAllMethods is the acceptance test for the
+// universal snapshot format: every registered method round-trips through
+// Save and both load paths (zero-copy slice decode, as mmap uses, and the
+// streaming fallback) with identical answers on a randomized query set.
+func TestSnapshotRoundTripAllMethods(t *testing.T) {
+	g, n := persistenceFixture(t)
+	for _, m := range Methods() {
+		t.Run(string(m), func(t *testing.T) {
+			built, err := Build(g, m, Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			var buf bytes.Buffer
+			if err := built.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			zero, err := LoadBytes(buf.Bytes())
+			if err != nil {
+				t.Fatalf("LoadBytes: %v", err)
+			}
+			stream, err := LoadFrom(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("LoadFrom: %v", err)
+			}
+			for _, loaded := range []*Oracle{zero, stream} {
+				if loaded.Method() != string(m) {
+					t.Fatalf("loaded method = %q, want %q", loaded.Method(), m)
+				}
+				if !loaded.Loaded() {
+					t.Fatal("Loaded() = false for a snapshot-restored oracle")
+				}
+				if loaded.IndexSizeInts() != built.IndexSizeInts() {
+					t.Fatalf("size changed across serialization: %d -> %d",
+						built.IndexSizeInts(), loaded.IndexSizeInts())
+				}
+				if loaded.Graph().Fingerprint() != g.Fingerprint() {
+					t.Fatal("restored graph has a different fingerprint")
+				}
+			}
+			rng := rand.New(rand.NewSource(3))
+			for q := 0; q < 2000; q++ {
+				u := uint32(rng.Intn(n))
+				v := uint32(rng.Intn(n))
+				want := built.Reachable(u, v)
+				if zero.Reachable(u, v) != want {
+					t.Fatalf("zero-copy oracle disagrees on (%d,%d)", u, v)
+				}
+				if stream.Reachable(u, v) != want {
+					t.Fatalf("stream oracle disagrees on (%d,%d)", u, v)
+				}
+			}
+		})
 	}
 }
 
-func TestLoadOracleRejectsMismatchedGraph(t *testing.T) {
-	gA, _ := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
-	gB, _ := NewGraph(9, [][2]uint32{{0, 1}})
-	o, err := Build(gA, MethodDL, Options{})
+// TestSnapshotFileRoundTrip exercises the real file path: SaveFile then
+// the mmap-backed Load, including Close.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	g, n := persistenceFixture(t)
+	built, err := Build(g, MethodDL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dl.snap")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 2000; q++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if built.Reachable(u, v) != loaded.Reachable(u, v) {
+			t.Fatalf("mmap-loaded oracle disagrees on (%d,%d)", u, v)
+		}
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Close(); err != nil { // double close is safe
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotCarriesOrigIDs proves a snapshot saved from a parsed
+// edge-list graph restores the original vertex IDs, which is what lets
+// reachd start from a snapshot alone.
+func TestSnapshotCarriesOrigIDs(t *testing.T) {
+	src := "100 200\n200 300\n300 100\n400 500\n"
+	g, orig, err := ReadGraph(bytes.NewReader([]byte(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, MethodDL, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := o.WriteLabeling(&buf); err != nil {
+	if err := o.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadOracle(gB, &buf); err == nil {
-		t.Fatal("labeling accepted for a different graph")
+	loaded, err := LoadBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Graph().OrigIDs()
+	if len(got) != len(orig) {
+		t.Fatalf("restored %d IDs, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("ID %d restored as %d, want %d", i, got[i], orig[i])
+		}
 	}
 }
 

@@ -37,6 +37,11 @@ type Graph struct {
 	comp []graph.Vertex
 	// originalN is the caller's vertex count.
 	originalN int
+	// origIDs, when non-nil, maps dense vertices back to the raw IDs of
+	// the edge-list file the graph was parsed from (ReadGraph sets it).
+	// Snapshots carry it so a daemon restart can speak the file's IDs
+	// without reparsing the file.
+	origIDs []int64
 }
 
 // NewGraph builds a Graph from n vertices and a directed edge list.
@@ -72,7 +77,9 @@ func ReadGraph(r io.Reader) (*Graph, []int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return fromRaw(raw), orig, nil
+	g := fromRaw(raw)
+	g.origIDs = orig
+	return g, orig, nil
 }
 
 func fromRaw(raw *graph.Graph) *Graph {
@@ -112,3 +119,22 @@ func (g *Graph) DAG() *graph.Graph { return g.dag }
 
 // MapVertex returns the DAG vertex for an original vertex.
 func (g *Graph) MapVertex(u uint32) uint32 { return uint32(g.comp[u]) }
+
+// OrigIDs returns the raw edge-list IDs indexed by dense vertex, or nil
+// when the graph was not built from an ID-carrying source (NewGraph).
+// Shared storage; do not modify.
+func (g *Graph) OrigIDs() []int64 { return g.origIDs }
+
+// Fingerprint hashes the graph's reachability-relevant structure — the
+// original vertex count, the SCC condensation map, and the condensed
+// DAG's CSR form. Snapshots record it so a restart can refuse an index
+// built from a different graph before decoding any index data.
+func (g *Graph) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := g.dag.Fingerprint()
+	h = (h ^ uint64(g.originalN)) * prime
+	for _, c := range g.comp {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}

@@ -1,0 +1,68 @@
+package reach_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	reach "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// snapshotBenchGraph is the largest gengraph-family graph the test suite
+// builds: the same citation generator `gengraph -family citation` uses,
+// at a size where index construction visibly costs seconds.
+func snapshotBenchGraph(b *testing.B) *reach.Graph {
+	b.Helper()
+	raw := gen.CitationDAG(25000, 4, 0.5, 9)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSnapshotLoad is the acceptance benchmark for the mmap'd
+// snapshot format: for the hop-labeling methods, loading a snapshot must
+// be O(file open) — page-cache mapping plus linear offset validation —
+// not O(index size), and orders of magnitude faster than rebuilding the
+// index from the graph ("rebuild" sub-benchmarks, same graph, same
+// method).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	g := snapshotBenchGraph(b)
+	for _, m := range []reach.Method{reach.MethodDL, reach.MethodHL} {
+		built, err := reach.Build(g, m, reach.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), string(m)+".snap")
+		if err := built.SaveFile(path); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(m)+"/mmap-load", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := reach.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if o.IndexSizeInts() != built.IndexSizeInts() {
+					b.Fatal("loaded index has a different size")
+				}
+				o.Close()
+			}
+			b.ReportMetric(float64(built.IndexSizeInts()), "index-ints")
+		})
+		b.Run(string(m)+"/rebuild", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reach.Build(g, m, reach.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

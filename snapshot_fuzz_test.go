@@ -1,0 +1,105 @@
+package reach
+
+import (
+	"bytes"
+	"testing"
+)
+
+// corpusSnapshot builds a small snapshot to seed fuzzing and corruption
+// sweeps: a cyclic graph (so the condensation section is non-trivial)
+// with original IDs and the given method's payload.
+func corpusSnapshot(t testing.TB, m Method) []byte {
+	t.Helper()
+	src := "0 1\n1 2\n2 0\n2 3\n3 4\n5 3\n4 6\n6 5\n"
+	g, _, err := ReadGraph(bytes.NewReader([]byte(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, m, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// exerciseLoaded runs enough of the query surface over a successfully
+// loaded oracle to catch any decoder that accepted memory-unsafe state.
+func exerciseLoaded(o *Oracle) {
+	n := uint32(o.Graph().NumVertices())
+	lim := n
+	if lim > 16 {
+		lim = 16
+	}
+	for u := uint32(0); u < lim; u++ {
+		for v := uint32(0); v < lim; v++ {
+			o.Reachable(u, v)
+		}
+	}
+	o.Reachable(n+100, 0) // out-of-range stays false, never panics
+	_ = o.Method()
+	_ = o.IndexSizeInts()
+	_ = o.Graph().Fingerprint()
+}
+
+// FuzzLoadSnapshot is the satellite guarantee of the snapshot format:
+// arbitrary bytes — including truncated and bit-flipped real snapshots
+// from the checked-in corpus — either load into a queryable oracle or
+// return an error. Never a panic, through both the zero-copy (mmap) and
+// streaming decode paths.
+func FuzzLoadSnapshot(f *testing.F) {
+	for _, m := range []Method{MethodDL, MethodGRAIL, MethodKReach, MethodBFS} {
+		snap := corpusSnapshot(f, m)
+		f.Add(snap)
+		f.Add(snap[:len(snap)/2])
+		f.Add(snap[:len(snap)-1])
+		flipped := bytes.Clone(snap)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RSNAPv2\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if o, err := LoadBytes(data); err == nil {
+			exerciseLoaded(o)
+		}
+		if o, err := LoadFrom(bytes.NewReader(data)); err == nil {
+			exerciseLoaded(o)
+		}
+	})
+}
+
+// TestSnapshotCorruptionReturnsErrors is the deterministic companion to
+// the fuzz target, run on every plain `go test`: every truncation length
+// and a sweep of single-byte corruptions of a real snapshot must yield an
+// error or a loadable, queryable oracle — no panics.
+func TestSnapshotCorruptionReturnsErrors(t *testing.T) {
+	for _, m := range []Method{MethodDL, MethodGRAIL, MethodKReach, MethodPathTree} {
+		snap := corpusSnapshot(t, m)
+		tryLoad := func(data []byte) {
+			if o, err := LoadBytes(data); err == nil {
+				exerciseLoaded(o)
+			}
+			if o, err := LoadFrom(bytes.NewReader(data)); err == nil {
+				exerciseLoaded(o)
+			}
+		}
+		for cut := 0; cut < len(snap); cut++ {
+			tryLoad(snap[:cut])
+		}
+		if _, err := LoadBytes(snap[:len(snap)-1]); err == nil {
+			t.Fatalf("%s: truncated snapshot loaded without error", m)
+		}
+		mut := make([]byte, len(snap))
+		for off := 0; off < len(snap); off++ {
+			for _, bit := range []byte{0x01, 0x80} {
+				copy(mut, snap)
+				mut[off] ^= bit
+				tryLoad(mut)
+			}
+		}
+	}
+}
