@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,18 +122,35 @@ func (lg *loadGen) run() error {
 	var (
 		queries  atomic.Int64
 		requests atomic.Int64
+		rejected atomic.Int64 // 429s from the server's admission gate
 		failures atomic.Int64
 		wg       sync.WaitGroup
 	)
+	// Per-client latency reservoirs of successful requests, merged after
+	// the run for p50/p99; only the owning goroutine writes its slot.
+	// Reservoir sampling (algorithm R) caps memory on long soak runs —
+	// an hour at 10k req/s would otherwise accumulate hundreds of MB of
+	// samples inside the tool that is supposed to be measuring the box.
+	const maxSamplesPerClient = 1 << 16
+	latencies := make([][]time.Duration, lg.clients)
 	deadline := time.Now().Add(lg.duration)
 	start := time.Now()
 	for c := 0; c < lg.clients; c++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(c int, seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			client := &http.Client{Timeout: 30 * time.Second}
 			pairs := make([][2]uint64, lg.batch)
+			sampled := 0
+			recordLatency := func(d time.Duration) {
+				sampled++
+				if len(latencies[c]) < maxSamplesPerClient {
+					latencies[c] = append(latencies[c], d)
+				} else if j := rng.Intn(sampled); j < maxSamplesPerClient {
+					latencies[c][j] = d
+				}
+			}
 			for time.Now().Before(deadline) {
 				for i := range pairs {
 					pairs[i] = [2]uint64{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]}
@@ -139,6 +158,7 @@ func (lg *loadGen) run() error {
 				payload, _ := json.Marshal(struct {
 					Pairs [][2]uint64 `json:"pairs"`
 				}{pairs})
+				reqStart := time.Now()
 				resp, err := client.Post(lg.base+"/v1/batch", "application/json", bytes.NewReader(payload))
 				if err != nil {
 					failures.Add(1)
@@ -146,10 +166,27 @@ func (lg *loadGen) run() error {
 					time.Sleep(100 * time.Millisecond)
 					continue
 				}
-				if resp.StatusCode == http.StatusOK {
+				switch resp.StatusCode {
+				case http.StatusOK:
+					recordLatency(time.Since(reqStart))
 					queries.Add(int64(lg.batch))
 					requests.Add(1)
-				} else {
+				case http.StatusTooManyRequests:
+					// The admission gate shed this request; back off so a
+					// closed loop doesn't hammer an overloaded server. A
+					// Retry-After hint raises the backoff to a bounded
+					// second (the header is whole seconds, so any valid
+					// hint caps there).
+					rejected.Add(1)
+					backoff := 10 * time.Millisecond
+					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+						backoff = time.Second
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					time.Sleep(backoff)
+					continue
+				default:
 					failures.Add(1)
 				}
 				// Drain before closing so the transport can reuse the
@@ -157,16 +194,35 @@ func (lg *loadGen) run() error {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 			}
-		}(lg.seed + int64(c))
+		}(c, lg.seed+int64(c))
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("done: %d requests, %d queries, %d failures in %s\n",
-		requests.Load(), queries.Load(), failures.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("done: %d requests, %d queries, %d rejected (429), %d failures in %s\n",
+		requests.Load(), queries.Load(), rejected.Load(), failures.Load(), elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f queries/sec (%.1f requests/sec)\n",
 		float64(queries.Load())/elapsed.Seconds(),
 		float64(requests.Load())/elapsed.Seconds())
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		quantile := func(q float64) time.Duration {
+			i := int(q * float64(len(all)-1))
+			return all[i]
+		}
+		fmt.Printf("latency: p50 %s  p99 %s  max %s (%d samples)\n",
+			quantile(0.50).Round(time.Microsecond),
+			quantile(0.99).Round(time.Microsecond),
+			all[len(all)-1].Round(time.Microsecond), len(all))
+	}
+	if attempts := requests.Load() + rejected.Load() + failures.Load(); attempts > 0 && rejected.Load() > 0 {
+		fmt.Printf("rejection rate: %.1f%% of attempts shed by the admission gate\n",
+			100*float64(rejected.Load())/float64(attempts))
+	}
 	// Report this run's cache behaviour, not the daemon's lifetime
 	// counters: diff against the snapshot taken before the run.
 	if end, err := lg.fetchStats(); err == nil {

@@ -10,7 +10,8 @@
 // small (tables 2-4 + fig3), large (tables 5-7 + fig4), or all.
 //
 // With -serve it instead load-tests a running reachd daemon in a closed
-// loop and reports end-to-end queries/sec:
+// loop and reports end-to-end queries/sec, p50/p99 request latency, and
+// the share of requests shed by the daemon's admission gate (429):
 //
 //	reachbench -serve http://localhost:8080 -graph g.txt [-clients 8] [-batch 512] [-duration 10s]
 package main

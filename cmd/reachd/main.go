@@ -6,7 +6,8 @@
 // Usage:
 //
 //	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot g.snap]
-//	       [-workers N] [-cache-capacity 1048576] [-cache-shards 64]
+//	       [-workers N] [-cache-policy s3fifo] [-cache-capacity 1048576]
+//	       [-cache-shards 64] [-request-timeout 0] [-max-inflight 0]
 //
 // If -snapshot names an existing snapshot of the same graph and method,
 // it is memory-mapped and serving starts in milliseconds — the snapshot
@@ -25,6 +26,13 @@
 //
 // Vertex IDs in queries are the original IDs from the edge-list file —
 // the same IDs reachcli answers with for the same graph.
+//
+// Overload protection: -request-timeout puts a deadline on every query
+// request (an expired batch stops mid-dispatch and answers 503), and
+// -max-inflight caps concurrently-served query requests — excess
+// requests answer 429 with Retry-After instead of queueing unboundedly.
+// /v1/healthz and /v1/stats bypass the gate so monitoring keeps working
+// under overload.
 package main
 
 import (
@@ -50,11 +58,19 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		snapshot  = flag.String("snapshot", "", "snapshot path: mmap-load if present, else build and save")
 		workers   = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
+		policy    = flag.String("cache-policy", server.PolicyS3FIFO, "query cache admission policy: s3fifo or fifo")
 		cacheCap  = flag.Int("cache-capacity", server.DefaultCacheCapacity, "query cache entries (negative disables)")
 		shards    = flag.Int("cache-shards", server.DefaultCacheShards, "query cache shard count")
 		maxBatch  = flag.Int("max-batch", 0, "max pairs per /v1/batch request (default 1<<20)")
+		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline; expired requests answer 503 (0 disables; defaults to 30s when -max-inflight is set)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent query requests before answering 429 (0 = unlimited)")
 	)
 	flag.Parse()
+	if *policy != server.PolicyS3FIFO && *policy != server.PolicyFIFO {
+		fmt.Fprintf(os.Stderr, "reachd: unknown -cache-policy %q (want %s or %s)\n",
+			*policy, server.PolicyS3FIFO, server.PolicyFIFO)
+		os.Exit(1)
+	}
 	// An unset -method means "whatever the snapshot holds" when loading,
 	// and DL when building; only an explicit -method constrains a load.
 	methodSet := false
@@ -64,10 +80,13 @@ func main() {
 		}
 	})
 	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, server.Config{
-		Workers:       *workers,
-		CacheShards:   *shards,
-		CacheCapacity: *cacheCap,
-		MaxBatchPairs: *maxBatch,
+		Workers:        *workers,
+		CachePolicy:    *policy,
+		CacheShards:    *shards,
+		CacheCapacity:  *cacheCap,
+		MaxBatchPairs:  *maxBatch,
+		RequestTimeout: *reqTO,
+		MaxInFlight:    *inflight,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "reachd: %v\n", err)
 		os.Exit(1)
@@ -109,7 +128,10 @@ func run(graphPath, method string, methodSet bool, addr, snapshot string, cfg se
 	cfg.OrigIDs = g.OrigIDs()
 
 	s := server.New(g, oracle, cfg)
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	// ReadHeaderTimeout bounds header trickling independently of
+	// -request-timeout (which covers the body and the query itself), so
+	// idle half-open connections can't pile up goroutines.
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -42,9 +43,10 @@ func benchFixture(b *testing.B, cfg Config) (*Server, [][2]uint32) {
 // worker pool — the baseline later scaling PRs must beat.
 func BenchmarkServerBatch(b *testing.B) {
 	s, pairs := benchFixture(b, Config{})
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.ReachableBatch(pairs)
+		s.ReachableBatch(ctx, pairs)
 	}
 	b.StopTimer()
 	qps := float64(b.N) * float64(len(pairs)) / b.Elapsed().Seconds()
@@ -86,36 +88,38 @@ func zipfPairs(n uint32, universe, count int, s float64, seed int64) [][2]uint32
 	return out
 }
 
-// BenchmarkCacheHitRateZipf measures the FIFO query cache's steady-state
+// BenchmarkCacheHitRateZipf measures each cache policy's steady-state
 // hit rate under Zipfian traffic, at a cache an order of magnitude
-// smaller than the distinct-pair universe so eviction policy matters.
-// The reported hit-rate metric is the baseline the ROADMAP's 2Q
-// admission-policy work must beat; queries/sec is the end-to-end
-// throughput at that hit rate.
+// smaller than the distinct-pair universe so admission policy matters.
+// The FIFO rows are the PR 1 baseline; the s3fifo rows are the policy
+// reachd now defaults to, and TestZipfS3FIFOBeatsFIFO pins their
+// ordering. queries/sec is the end-to-end throughput at that hit rate.
 func BenchmarkCacheHitRateZipf(b *testing.B) {
-	for _, zs := range []float64{1.07, 1.5} {
-		b.Run(fmt.Sprintf("s=%.2f", zs), func(b *testing.B) {
-			const universe = 1 << 16
-			s, _ := benchFixture(b, Config{CacheCapacity: universe / 8})
-			pairs := zipfPairs(uint32(s.g.NumVertices()), universe, 1<<17, zs, 41)
-			// Warm to steady state, then measure from clean counters.
-			for _, p := range pairs {
-				s.Reachable(p[0], p[1])
-			}
-			before := s.Stats().Cache
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				p := pairs[i%len(pairs)]
-				s.Reachable(p[0], p[1])
-			}
-			b.StopTimer()
-			after := s.Stats().Cache
-			if total := (after.Hits + after.Misses) - (before.Hits + before.Misses); total > 0 {
-				rate := float64(after.Hits-before.Hits) / float64(total)
-				b.ReportMetric(rate*100, "hit%")
-			}
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
-		})
+	for _, policy := range []string{PolicyFIFO, PolicyS3FIFO} {
+		for _, zs := range []float64{1.07, 1.5} {
+			b.Run(fmt.Sprintf("policy=%s/s=%.2f", policy, zs), func(b *testing.B) {
+				const universe = 1 << 16
+				s, _ := benchFixture(b, Config{CachePolicy: policy, CacheCapacity: universe / 8})
+				pairs := zipfPairs(uint32(s.g.NumVertices()), universe, 1<<17, zs, 41)
+				// Warm to steady state, then measure from clean counters.
+				for _, p := range pairs {
+					s.Reachable(p[0], p[1])
+				}
+				before := s.Stats().Cache
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					s.Reachable(p[0], p[1])
+				}
+				b.StopTimer()
+				after := s.Stats().Cache
+				if total := (after.Hits + after.Misses) - (before.Hits + before.Misses); total > 0 {
+					rate := float64(after.Hits-before.Hits) / float64(total)
+					b.ReportMetric(rate*100, "hit%")
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			})
+		}
 	}
 }
 

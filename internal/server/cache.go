@@ -13,18 +13,97 @@ const (
 	DefaultCacheCapacity = 1 << 20
 )
 
-// queryCache is a sharded, fixed-capacity map from query pair to answer.
-// Both positive and negative answers are cached: the oracle is immutable,
-// so entries never go stale and eviction exists only to bound memory.
+// Cache admission policies selectable via Config.CachePolicy.
+const (
+	// PolicyS3FIFO is the default: a small probationary FIFO in front of
+	// a main FIFO with a ghost set remembering recent evictions, so
+	// one-hit wonders wash out of the small queue without displacing the
+	// hot working set. See s3fifo.go.
+	PolicyS3FIFO = "s3fifo"
+	// PolicyFIFO is the original single-queue FIFO, retained for
+	// comparison (BenchmarkCacheHitRateZipf sweeps both).
+	PolicyFIFO = "fifo"
+)
+
+// cache is what the server needs from a query cache; fifoCache and
+// s3fifoCache implement it. Both cache positive and negative answers:
+// the oracle is immutable, so entries never go stale and eviction exists
+// only to bound memory.
+type cache interface {
+	get(u, v uint32) (answer, ok bool)
+	put(u, v uint32, answer bool)
+	len() int
+	stats() CacheStats
+}
+
+// newCache builds the cache for the given policy; any policy other than
+// PolicyFIFO gets the S3-FIFO default (reachd validates the flag value,
+// so an unknown string here only arises from library misuse).
+func newCache(policy string, shards, capacity int) cache {
+	if policy == PolicyFIFO {
+		return newFIFOCache(shards, capacity)
+	}
+	return newS3FIFOCache(shards, capacity)
+}
+
+// shardLayout normalizes a (shards, capacity) request: the shard count
+// rounds up to a power of two, then shrinks while the capacity is
+// smaller than the shard count so the configured capacity stays an upper
+// bound. The per-shard capacities distribute the remainder so they sum
+// to exactly the configured capacity — CacheStats.Capacity must report
+// the real bound, not capacity/shards*shards.
+func shardLayout(shards, capacity int) (pow int, caps []int) {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	pow = 1
+	for pow < shards {
+		pow <<= 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	for pow > 1 && capacity < pow {
+		pow >>= 1
+	}
+	caps = make([]int, pow)
+	base, extra := capacity/pow, capacity%pow
+	for i := range caps {
+		caps[i] = base
+		if i < extra {
+			caps[i]++
+		}
+	}
+	return pow, caps
+}
+
+func pairKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// fnvIndex hashes the packed key with FNV-1a; the low bits pick a shard.
+func fnvIndex(k uint64, mask uint32) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= k & 0xff
+		h *= prime64
+		k >>= 8
+	}
+	return uint32(h) & mask
+}
+
+// fifoCache is a sharded, fixed-capacity map from query pair to answer.
 // Shard selection is by FNV-1a hash of the packed pair so hot vertices
 // spread across shards; within a shard, eviction is FIFO via a ring of
 // inserted keys.
-type queryCache struct {
-	shards []cacheShard
+type fifoCache struct {
+	shards []fifoShard
 	mask   uint32
 }
 
-type cacheShard struct {
+type fifoShard struct {
 	mu   sync.Mutex
 	m    map[uint64]bool
 	ring []uint64 // insertion order, for FIFO eviction
@@ -39,56 +118,22 @@ type cacheShard struct {
 	_ [64]byte
 }
 
-// newQueryCache builds a cache with the given shard count (rounded up to
-// a power of two) and total entry capacity split evenly across shards.
-// The configured capacity is an upper bound: when it is smaller than the
-// shard count, the shard count shrinks rather than the bound inflating.
-func newQueryCache(shards, capacity int) *queryCache {
-	if shards <= 0 {
-		shards = DefaultCacheShards
-	}
-	pow := 1
-	for pow < shards {
-		pow <<= 1
-	}
-	if capacity <= 0 {
-		capacity = DefaultCacheCapacity
-	}
-	for pow > 1 && capacity < pow {
-		pow >>= 1
-	}
-	perShard := capacity / pow
-	c := &queryCache{shards: make([]cacheShard, pow), mask: uint32(pow - 1)}
+func newFIFOCache(shards, capacity int) *fifoCache {
+	pow, caps := shardLayout(shards, capacity)
+	c := &fifoCache{shards: make([]fifoShard, pow), mask: uint32(pow - 1)}
 	for i := range c.shards {
-		c.shards[i].cap = perShard
-		c.shards[i].m = make(map[uint64]bool, perShard)
-		c.shards[i].ring = make([]uint64, 0, perShard)
+		c.shards[i].cap = caps[i]
+		c.shards[i].m = make(map[uint64]bool, caps[i])
+		c.shards[i].ring = make([]uint64, 0, caps[i])
 	}
 	return c
 }
 
-func pairKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
-
-// fnvShard hashes the packed key with FNV-1a; the low bits pick a shard.
-func (c *queryCache) fnvShard(k uint64) *cacheShard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < 8; i++ {
-		h ^= k & 0xff
-		h *= prime64
-		k >>= 8
-	}
-	return &c.shards[uint32(h)&c.mask]
-}
-
 // get returns the cached answer for (u, v) and whether one was present,
 // bumping the shard's hit or miss counter.
-func (c *queryCache) get(u, v uint32) (answer, ok bool) {
+func (c *fifoCache) get(u, v uint32) (answer, ok bool) {
 	k := pairKey(u, v)
-	sh := c.fnvShard(k)
+	sh := &c.shards[fnvIndex(k, c.mask)]
 	sh.mu.Lock()
 	answer, ok = sh.m[k]
 	if ok {
@@ -102,11 +147,13 @@ func (c *queryCache) get(u, v uint32) (answer, ok bool) {
 
 // put stores the answer for (u, v), evicting the shard's oldest entry
 // once the shard is full.
-func (c *queryCache) put(u, v uint32, answer bool) {
+func (c *fifoCache) put(u, v uint32, answer bool) {
 	k := pairKey(u, v)
-	sh := c.fnvShard(k)
+	sh := &c.shards[fnvIndex(k, c.mask)]
 	sh.mu.Lock()
 	if _, exists := sh.m[k]; !exists {
+		// shardLayout guarantees cap >= 1, so the ring is never empty
+		// at replacement time.
 		if len(sh.ring) < sh.cap {
 			sh.ring = append(sh.ring, k)
 		} else {
@@ -123,7 +170,7 @@ func (c *queryCache) put(u, v uint32, answer bool) {
 }
 
 // len counts cached entries across all shards.
-func (c *queryCache) len() int {
+func (c *fifoCache) len() int {
 	total := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -134,27 +181,29 @@ func (c *queryCache) len() int {
 	return total
 }
 
-// CacheStats is the cache section of /v1/stats.
+// CacheStats is the cache section of /v1/stats. Small, Main and Ghost
+// report the S3-FIFO segment sizes; they are always present (zero is a
+// meaningful segment size on an idle server) and stay zero under the
+// FIFO policy.
 type CacheStats struct {
+	Policy   string  `json:"policy"`
 	Shards   int     `json:"shards"`
 	Capacity int     `json:"capacity"`
 	Entries  int     `json:"entries"`
+	Small    int     `json:"small"`
+	Main     int     `json:"main"`
+	Ghost    int     `json:"ghost"`
 	Hits     int64   `json:"hits"`
 	Misses   int64   `json:"misses"`
 	HitRate  float64 `json:"hit_rate"`
 }
 
-func (c *queryCache) stats() CacheStats {
-	if c == nil {
-		return CacheStats{}
-	}
-	s := CacheStats{
-		Shards:   len(c.shards),
-		Capacity: len(c.shards) * c.shards[0].cap,
-	}
+func (c *fifoCache) stats() CacheStats {
+	s := CacheStats{Policy: PolicyFIFO, Shards: len(c.shards)}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		s.Capacity += sh.cap
 		s.Entries += len(sh.m)
 		s.Hits += sh.hits
 		s.Misses += sh.misses

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
+	"time"
 )
 
 // Handler returns the HTTP mux serving the v1 API:
@@ -17,13 +20,75 @@ import (
 //
 // Vertex IDs are dense [0, vertices) IDs by default; with Config.OrigIDs
 // set (as reachd does) they are the caller's original edge-list IDs.
+//
+// The query endpoints sit behind the overload guard: with MaxInFlight
+// set, excess concurrent requests get an immediate 429 with Retry-After;
+// with RequestTimeout set, requests that outlive their deadline get 503.
+// /v1/healthz and /v1/stats bypass the guard so monitoring keeps working
+// while the server sheds query load.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/reachable", s.handleReachable)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/reachable", s.guard(s.handleReachable))
+	mux.HandleFunc("POST /v1/batch", s.guard(s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// writeGrace is how long past its request deadline a response write may
+// keep a connection (and its gate slot) busy before being cut. It keeps
+// the total per-request hold bounded at RequestTimeout+writeGrace while
+// leaving room to flush error responses and drain large batch payloads
+// to slow readers.
+const writeGrace = time.Second
+
+// guard is the overload-protection middleware: admission control first
+// (so a saturated server answers 429 in microseconds instead of
+// queueing), then the per-request deadline.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.gate != nil {
+			select {
+			case s.gate <- struct{}{}:
+				defer func() { <-s.gate }()
+			default:
+				s.met.rejected.Add(1)
+				// Retry-After is a hint, not a promise: in-flight
+				// requests complete in well under a second unless the
+				// server is badly oversubscribed.
+				w.Header().Set("Retry-After", "1")
+				s.writeJSON(w, http.StatusTooManyRequests, map[string]string{
+					"error": fmt.Sprintf("server at max in-flight requests (%d); retry later", s.cfg.MaxInFlight),
+				})
+				return
+			}
+		}
+		if s.cfg.RequestTimeout > 0 {
+			// One shared deadline bounds body reads and compute: a
+			// client that trickles its body must not hold its gate slot
+			// (and a handler goroutine) past the deadline while
+			// dec.Decode waits on the socket. The write deadline gets a
+			// grace period past the request deadline — it exists to
+			// bound a client that stops reading its response (conn.Write
+			// blocking forever on a full TCP send buffer), not to cut
+			// the 503/error body a just-expired request still owes.
+			// Set{Read,Write}Deadline can fail on exotic
+			// ResponseWriters; the context still bounds compute then.
+			// Neither deadline can leak onto later requests of a
+			// keep-alive connection: conn.serve resets the read deadline
+			// in readRequest and unconditionally clears the write
+			// deadline after each request (net/http server.go, Go 1.24);
+			// TestWriteDeadlineClearedBetweenRequests pins that.
+			deadline := time.Now().Add(s.cfg.RequestTimeout)
+			rc := http.NewResponseController(w)
+			_ = rc.SetReadDeadline(deadline)
+			_ = rc.SetWriteDeadline(deadline.Add(writeGrace))
+			ctx, cancel := context.WithDeadline(r.Context(), deadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
@@ -35,6 +100,30 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.met.errors.Add(1)
 	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// failTimeout reports a request abandoned because its context ended:
+// 503 so clients and load balancers read it as transient server
+// pressure. Only a genuinely expired deadline counts as timed_out — a
+// cancelled context means the client went away, which happens with or
+// without RequestTimeout configured.
+func (s *Server) failTimeout(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.met.timedOut.Add(1)
+	}
+	s.fail(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+}
+
+// failUnknownVertex is the 400 for an ID that names no vertex. The valid
+// ID space depends on the ID mode: dense mode accepts [0, N); original-ID
+// mode accepts exactly the edge-list file's IDs, which need not be dense,
+// so quoting the vertex count would mislead.
+func (s *Server) failUnknownVertex(w http.ResponseWriter, bad uint64) {
+	if s.denseOf != nil {
+		s.fail(w, http.StatusBadRequest, "vertex %d is not an original vertex ID of the served graph", bad)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "vertex %d not in graph (valid IDs are 0..%d)", bad, s.g.NumVertices()-1)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -69,7 +158,11 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		if okU {
 			bad = v
 		}
-		s.fail(w, http.StatusBadRequest, "vertex %d not in graph (%d vertices)", bad, s.g.NumVertices())
+		s.failUnknownVertex(w, bad)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.failTimeout(w, err)
 		return
 	}
 	ans, cached := s.Reachable(du, dv)
@@ -108,6 +201,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				"batch body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
+		// A read cut by the request deadline (guard sets a matching
+		// socket read deadline) is overload shedding, not a bad request.
+		// The socket deadline can fire a hair before the context's, so
+		// classify the i/o timeout itself too.
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.failTimeout(w, context.DeadlineExceeded)
+			return
+		}
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			s.failTimeout(w, ctxErr)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}
@@ -117,15 +222,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchRequests.Add(1)
+	// Shed before resolving: a deadline that expired during body decode
+	// must not pay O(pairs) ID translation just to answer 503.
+	if err := r.Context().Err(); err != nil {
+		s.failTimeout(w, err)
+		return
+	}
 	dense := make([][2]uint32, len(req.Pairs))
 	for i, p := range req.Pairs {
 		du, _ := s.resolve(p[0]) // unknown IDs become unknownVertex → false
 		dv, _ := s.resolve(p[1])
 		dense[i] = [2]uint32{du, dv}
 	}
+	results, err := s.ReachableBatch(r.Context(), dense)
+	if err != nil {
+		s.failTimeout(w, err)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, batchResponse{
 		Count:   len(req.Pairs),
-		Results: s.ReachableBatch(dense),
+		Results: results,
 	})
 }
 

@@ -14,6 +14,8 @@ type metrics struct {
 	positive      atomic.Int64
 	negative      atomic.Int64
 	errors        atomic.Int64 // requests rejected with 4xx/5xx
+	rejected      atomic.Int64 // 429s from the max-in-flight gate (not in errors)
+	timedOut      atomic.Int64 // requests abandoned at their deadline (also in errors)
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -35,17 +37,25 @@ type ServerStats struct {
 	Positive      int64   `json:"positive"`
 	Negative      int64   `json:"negative"`
 	Errors        int64   `json:"errors"`
+	Rejected      int64   `json:"rejected"`
+	TimedOut      int64   `json:"timed_out"`
+	InFlight      int     `json:"in_flight"`
+	MaxInFlight   int     `json:"max_in_flight"`
 	Workers       int     `json:"workers"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-func (m *metrics) snapshot(workers int) ServerStats {
+func (m *metrics) snapshot(workers, inFlight, maxInFlight int) ServerStats {
 	return ServerStats{
 		Queries:       m.queries.Load(),
 		BatchRequests: m.batchRequests.Load(),
 		Positive:      m.positive.Load(),
 		Negative:      m.negative.Load(),
 		Errors:        m.errors.Load(),
+		Rejected:      m.rejected.Load(),
+		TimedOut:      m.timedOut.Load(),
+		InFlight:      inFlight,
+		MaxInFlight:   maxInFlight,
 		Workers:       workers,
 		UptimeSeconds: time.Since(m.start).Seconds(),
 	}

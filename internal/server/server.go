@@ -6,12 +6,17 @@
 // The layering mirrors O'Reach's observation that cheap caching/filter
 // frontends multiply the real-world throughput of a microsecond-query
 // oracle: the oracle answers anything, the cache shortcuts repeats, and
-// the pool turns one HTTP round trip into many index probes.
+// the pool turns one HTTP round trip into many index probes. The serving
+// layer also degrades gracefully under overload: a max-in-flight gate
+// rejects excess requests with 429 instead of queueing unboundedly, and
+// per-request deadlines stop batch work that nobody is waiting for.
 package server
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	reach "repro"
 )
@@ -20,6 +25,9 @@ import (
 type Config struct {
 	// Workers sizes the batch worker pool (default GOMAXPROCS).
 	Workers int
+	// CachePolicy selects the cache admission policy: PolicyS3FIFO
+	// (default) or PolicyFIFO.
+	CachePolicy string
 	// CacheShards is the cache shard count (default 64).
 	CacheShards int
 	// CacheCapacity bounds total cached answers (default 1<<20).
@@ -29,6 +37,18 @@ type Config struct {
 	BatchChunk int
 	// MaxBatchPairs rejects oversized /v1/batch requests (default 1<<20).
 	MaxBatchPairs int
+	// RequestTimeout is the per-request deadline applied to the query
+	// endpoints; a batch whose deadline expires stops dispatching chunks
+	// and answers 503. Zero disables deadlines — unless MaxInFlight is
+	// set, in which case DefaultGateTimeout applies: without a deadline,
+	// stalled clients would pin gate slots forever and turn the gate
+	// into a permanent 429.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently-served query requests; excess
+	// requests are rejected immediately with 429 and a Retry-After
+	// header instead of queueing. Zero means unlimited. /v1/healthz and
+	// /v1/stats bypass the gate so monitoring works under overload.
+	MaxInFlight int
 	// OrigIDs, when set, makes the HTTP API speak the caller's original
 	// vertex IDs instead of dense post-parse ones: OrigIDs[dense] = raw,
 	// exactly as reach.ReadGraph returns. reachd always sets this so the
@@ -47,8 +67,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchPairs <= 0 {
 		c.MaxBatchPairs = 1 << 20
 	}
+	if c.CachePolicy == "" {
+		c.CachePolicy = PolicyS3FIFO
+	}
+	if c.MaxInFlight > 0 && c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultGateTimeout
+	}
 	return c
 }
+
+// DefaultGateTimeout is the request deadline imposed when MaxInFlight is
+// set without a RequestTimeout. A gate without any deadline is a DoS
+// hazard: clients that stall their request body (or stop reading their
+// response) would hold slots forever, and the gate would answer 429 to
+// everyone indefinitely. Generous enough that only genuinely stuck
+// requests hit it.
+const DefaultGateTimeout = 30 * time.Second
 
 // Server answers reachability queries for one graph + oracle pair. It is
 // safe for concurrent use; create with New and release the worker pool
@@ -56,9 +90,13 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	g      *reach.Graph
 	oracle *reach.Oracle
-	cache  *queryCache // nil when disabled
+	cache  cache // nil when disabled
 	met    *metrics
 	cfg    Config
+
+	// gate is the admission-control semaphore: each in-flight query
+	// request holds one slot. Nil when MaxInFlight is 0.
+	gate chan struct{}
 
 	// denseOf translates original vertex IDs to dense ones; nil when the
 	// API already speaks dense IDs.
@@ -86,7 +124,10 @@ func New(g *reach.Graph, oracle *reach.Oracle, cfg Config) *Server {
 		jobs:   make(chan func(), 4*cfg.Workers),
 	}
 	if cfg.CacheCapacity >= 0 {
-		s.cache = newQueryCache(cfg.CacheShards, cfg.CacheCapacity)
+		s.cache = newCache(cfg.CachePolicy, cfg.CacheShards, cfg.CacheCapacity)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInFlight)
 	}
 	if len(cfg.OrigIDs) > 0 {
 		s.denseOf = make(map[int64]uint32, len(cfg.OrigIDs))
@@ -159,8 +200,14 @@ func (s *Server) resolve(raw uint64) (uint32, bool) {
 }
 
 // Reachable answers one query through the cache, reporting whether the
-// answer was a cache hit.
+// answer was a cache hit. Unknown-vertex pairs (from /v1/batch, where
+// they answer false instead of failing the batch) bypass the cache
+// entirely: their garbage keys would pollute it and evict real entries.
 func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
+	if u == unknownVertex || v == unknownVertex {
+		s.met.record(false)
+		return false, false
+	}
 	if s.cache != nil {
 		if ans, ok := s.cache.get(u, v); ok {
 			s.met.record(ans)
@@ -176,16 +223,26 @@ func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
 }
 
 // ReachableBatch answers pairs through the cache, splitting the work
-// across the worker pool in BatchChunk-sized tasks.
-func (s *Server) ReachableBatch(pairs [][2]uint32) []bool {
+// across the worker pool in BatchChunk-sized tasks. When ctx is
+// cancelled (the request deadline expired or the client went away) it
+// stops dispatching chunks, lets already-running ones finish, and
+// returns ctx's error — the partial results are discarded because the
+// caller can no longer use them.
+func (s *Server) ReachableBatch(ctx context.Context, pairs [][2]uint32) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]bool, len(pairs))
 	chunk := s.cfg.BatchChunk
 	if len(pairs) <= chunk {
 		s.runChunk(pairs, out)
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(pairs); lo += chunk {
+		if ctx.Err() != nil {
+			break // stop dispatching; queued chunks below also re-check
+		}
 		hi := lo + chunk
 		if hi > len(pairs) {
 			hi = len(pairs)
@@ -193,6 +250,9 @@ func (s *Server) ReachableBatch(pairs [][2]uint32) []bool {
 		wg.Add(1)
 		job := func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return // cancelled while queued
+			}
 			s.runChunk(pairs[lo:hi], out[lo:hi])
 		}
 		if !s.submit(job) {
@@ -200,7 +260,10 @@ func (s *Server) ReachableBatch(pairs [][2]uint32) []bool {
 		}
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (s *Server) runChunk(pairs [][2]uint32, out []bool) {
@@ -242,6 +305,10 @@ func indexSource(o *reach.Oracle) string {
 
 // Stats snapshots every layer's counters.
 func (s *Server) Stats() Stats {
+	var cs CacheStats
+	if s.cache != nil {
+		cs = s.cache.stats()
+	}
 	return Stats{
 		Graph: GraphStats{
 			Vertices:    s.g.NumVertices(),
@@ -253,7 +320,7 @@ func (s *Server) Stats() Stats {
 			SizeInts: s.oracle.IndexSizeInts(),
 			Source:   indexSource(s.oracle),
 		},
-		Cache:  s.cache.stats(),
-		Server: s.met.snapshot(s.cfg.Workers),
+		Cache:  cs,
+		Server: s.met.snapshot(s.cfg.Workers, len(s.gate), s.cfg.MaxInFlight),
 	}
 }

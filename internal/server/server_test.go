@@ -1,16 +1,21 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	reach "repro"
 	"repro/internal/gen"
@@ -226,6 +231,256 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if got.Server.Queries < 2 || got.Server.Workers <= 0 {
 		t.Errorf("stats server section: %+v", got.Server)
+	}
+}
+
+// TestUnknownVertexPairsNotCached pins the /v1/batch cache-pollution
+// bugfix: pairs naming unknown vertices resolve to the unknownVertex
+// sentinel and used to be cached under garbage (^uint32(0), v) keys,
+// evicting real entries. They must bypass the cache entirely.
+func TestUnknownVertexPairsNotCached(t *testing.T) {
+	g, s, ts := fixture(t, Config{})
+	n := uint64(g.NumVertices())
+	pairs := make([][2]uint64, 50)
+	for i := range pairs {
+		pairs[i] = [2]uint64{n + uint64(i), uint64(i)} // unknown source vertex
+	}
+	resp, got := postBatch(t, ts.URL, pairs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	for i, r := range got.Results {
+		if r {
+			t.Fatalf("unknown-vertex pair %d answered true", i)
+		}
+	}
+	cs := s.Stats().Cache
+	if cs.Entries != 0 {
+		t.Fatalf("unknown-vertex pairs left %d cache entries, want 0", cs.Entries)
+	}
+	if cs.Hits+cs.Misses != 0 {
+		t.Fatalf("unknown-vertex pairs touched the cache counters: %+v", cs)
+	}
+	if q := s.Stats().Server.Queries; q != int64(len(pairs)) {
+		t.Fatalf("queries counter = %d, want %d", q, len(pairs))
+	}
+}
+
+// TestBatchStopsOnCancelledContext covers the deadline path below HTTP:
+// a cancelled context stops chunk dispatch and surfaces the error.
+func TestBatchStopsOnCancelledContext(t *testing.T) {
+	g, s, _ := fixture(t, Config{Workers: 2, BatchChunk: 8})
+	n := uint32(g.NumVertices())
+	pairs := make([][2]uint32, 1024)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(i) % n, uint32(i+1) % n}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := s.ReachableBatch(ctx, pairs)
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("cancelled batch returned (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	// An expired deadline behaves the same.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := s.ReachableBatch(dctx, pairs); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline batch returned %v, want context.DeadlineExceeded", err)
+	}
+	// A live context still answers everything.
+	out, err = s.ReachableBatch(context.Background(), pairs)
+	if err != nil || len(out) != len(pairs) {
+		t.Fatalf("live batch returned (%d results, %v)", len(out), err)
+	}
+}
+
+// TestRequestDeadline proves an over-deadline request answers 503 and
+// bumps the timed_out counter instead of running to completion.
+func TestRequestDeadline(t *testing.T) {
+	g, s, ts := fixture(t, Config{RequestTimeout: time.Nanosecond})
+	n := uint64(g.NumVertices())
+	pairs := make([][2]uint64, 4096)
+	for i := range pairs {
+		pairs[i] = [2]uint64{uint64(i) % n, uint64(i+1) % n}
+	}
+	resp, _ := postBatch(t, ts.URL, pairs)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-deadline batch: status %d, want 503", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-deadline single query: status %d, want 503", resp.StatusCode)
+	}
+	st := s.Stats().Server
+	if st.TimedOut < 2 {
+		t.Fatalf("timed_out counter = %d, want >= 2", st.TimedOut)
+	}
+	if st.Errors < st.TimedOut {
+		t.Fatalf("timeouts not counted as errors: %+v", st)
+	}
+}
+
+// TestSlowBodyCannotHoldGateSlot proves the request deadline bounds body
+// reads: a client that sends headers and then trickles the batch body
+// cannot hold its admission slot (and a handler goroutine) past the
+// deadline — the read is cut and the slot freed.
+func TestSlowBodyCannotHoldGateSlot(t *testing.T) {
+	_, s, ts := fixture(t, Config{RequestTimeout: 200 * time.Millisecond, MaxInFlight: 1})
+
+	// Raw connection: complete headers, then stall mid-body.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/batch HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{\"pairs\":[[")
+
+	// The stalled request must release its gate slot at the deadline;
+	// poll briefly, then a normal query must be admitted, not 429'd.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate still held %s after a %s deadline (last status %d)",
+				time.Since(deadline.Add(-5*time.Second)), s.cfg.RequestTimeout, resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWriteDeadlineClearedBetweenRequests pins keep-alive hygiene: the
+// guard's per-request write deadline must not outlive its request. A
+// leaked deadline would kill any later response on the same connection —
+// including unguarded /v1/stats, breaking the "monitoring works under
+// overload" guarantee. Today net/http itself clears the write deadline
+// after every served request (conn.serve, Go 1.24); this test keeps the
+// guarantee pinned against both guard changes and stdlib behavior
+// changes.
+func TestWriteDeadlineClearedBetweenRequests(t *testing.T) {
+	_, _, ts := fixture(t, Config{RequestTimeout: 200 * time.Millisecond})
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	send := func(path string) int {
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: x\r\n\r\n", path)
+		resp, err := http.ReadResponse(br, nil)
+		if err != nil {
+			t.Fatalf("GET %s on keep-alive conn: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := send("/v1/reachable?u=0&v=1"); code != http.StatusOK {
+		t.Fatalf("guarded request: status %d", code)
+	}
+	// Outlast the guarded request's write deadline (200ms + 1s grace),
+	// then reuse the connection for an unguarded endpoint.
+	time.Sleep(1500 * time.Millisecond)
+	if code := send("/v1/stats"); code != http.StatusOK {
+		t.Fatalf("stats after stale write deadline: status %d", code)
+	}
+}
+
+// TestMaxInFlightGate proves admission control: with the gate full, query
+// endpoints answer 429 + Retry-After immediately while healthz and stats
+// stay reachable, and draining the gate restores service.
+func TestMaxInFlightGate(t *testing.T) {
+	_, s, ts := fixture(t, Config{MaxInFlight: 2})
+	// A gate without a deadline could be pinned forever by stalled
+	// clients; enabling it must imply one.
+	if s.cfg.RequestTimeout != DefaultGateTimeout {
+		t.Fatalf("gate without RequestTimeout got deadline %s, want %s",
+			s.cfg.RequestTimeout, DefaultGateTimeout)
+	}
+	// Occupy both slots as two stuck in-flight requests would.
+	s.gate <- struct{}{}
+	s.gate <- struct{}{}
+
+	start := time.Now()
+	resp := getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("gated query: status %d, want 429", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("429 took %s; overload rejection must not queue", elapsed)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	if resp, _ := postBatch(t, ts.URL, [][2]uint64{{0, 1}}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("gated batch: status %d, want 429", resp.StatusCode)
+	}
+	// Monitoring endpoints bypass the gate.
+	if resp := getJSON(t, ts.URL+"/v1/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz gated: status %d", resp.StatusCode)
+	}
+	var st Stats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats gated: status %d", resp.StatusCode)
+	}
+	if st.Server.Rejected != 2 || st.Server.InFlight != 2 || st.Server.MaxInFlight != 2 {
+		t.Fatalf("gate counters: %+v", st.Server)
+	}
+	// Rejections are load shedding, not errors.
+	if st.Server.Errors != 0 {
+		t.Fatalf("429s counted as errors: %+v", st.Server)
+	}
+
+	// Drain the gate: queries flow again.
+	<-s.gate
+	<-s.gate
+	if resp := getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain query: status %d", resp.StatusCode)
+	}
+}
+
+// TestUnknownVertexMessage pins the 400 body for both ID modes: dense
+// mode names the valid range, original-ID mode must not (its ID space is
+// the edge-list file's, not [0, N)).
+func TestUnknownVertexMessage(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	var dense struct {
+		Error string `json:"error"`
+	}
+	url := fmt.Sprintf("%s/v1/reachable?u=%d&v=0", ts.URL, g.NumVertices())
+	if resp := getJSON(t, url, &dense); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if want := fmt.Sprintf("valid IDs are 0..%d", g.NumVertices()-1); !bytes.Contains([]byte(dense.Error), []byte(want)) {
+		t.Fatalf("dense-mode error %q does not name the range %q", dense.Error, want)
+	}
+
+	// Original-ID mode: IDs 100, 7, 42 — "(3 vertices)" would wrongly
+	// suggest 0..2 are valid.
+	og, orig, err := reach.ReadGraph(bytes.NewReader([]byte("100 7\n7 42\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := reach.Build(og, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(og, oracle, Config{OrigIDs: orig})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var raw struct {
+		Error string `json:"error"`
+	}
+	if resp := getJSON(t, ts2.URL+"/v1/reachable?u=0&v=42", &raw); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if bytes.Contains([]byte(raw.Error), []byte("vertices)")) {
+		t.Fatalf("orig-ID-mode error %q quotes the vertex count", raw.Error)
+	}
+	if !bytes.Contains([]byte(raw.Error), []byte("original")) {
+		t.Fatalf("orig-ID-mode error %q does not explain the ID space", raw.Error)
 	}
 }
 
