@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can record the perf trajectory
+// as an artifact (BENCH_PR*.json) instead of numbers scrolling away in
+// logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Every benchmark line ("BenchmarkX-8  100  123 ns/op  4 B/op ...")
+// becomes one record carrying its package, name, GOMAXPROCS suffix,
+// iteration count, and all metric pairs — including custom
+// b.ReportMetric units like pairs/sec or hit_%. Exits non-zero when no
+// benchmark line was found, so a silently-broken bench pipeline fails CI
+// rather than uploading an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg        string `json:"pkg"`
+	Name       string `json:"name"`
+	Procs      int    `json:"procs"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value, e.g. {"ns/op": 123.4, "B/op": 456,
+	// "allocs/op": 7, "pairs/sec": 1.0e6}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output. Header lines (goos/goarch/pkg/
+// cpu) update the current context; Benchmark lines become records;
+// everything else (PASS, ok, test log noise) is ignored.
+func parse(r io.Reader) (Report, error) {
+	rep := Report{
+		Schema:    "reach-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		}
+		b, ok := parseBenchLine(pkg, line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  v unit  v unit ..."
+// line, reporting ok=false for anything that isn't one.
+func parseBenchLine(pkg, line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, one value, one unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Pkg: pkg, Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	// The -P suffix is GOMAXPROCS, appended unless it is 1.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters < 0 {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin — is the bench pipeline broken?")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkServerBatch-8   	     100	    987654 ns/op	  123 B/op	       4 allocs/op
+BenchmarkCacheHitRateZipf/policy=s3fifo-8         	  100000	       151.0 ns/op	        88.20 hit_%
+PASS
+ok  	repro/internal/server	2.345s
+pkg: repro/internal/fleet
+BenchmarkRouterBatch/replicas=3-8 	      50	    683696 ns/op	    748870 pairs/sec
+BenchmarkNoProcsSuffix 	       1	   1000000 ns/op
+--- BENCH: BenchmarkSomething
+    some log line that is not a result
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "reach-bench/v1" || rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu header not captured: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Pkg != "repro/internal/server" || b.Name != "BenchmarkServerBatch" || b.Procs != 8 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 987654 || b.Metrics["B/op"] != 123 || b.Metrics["allocs/op"] != 4 {
+		t.Fatalf("first benchmark metrics: %+v", b)
+	}
+
+	// Custom b.ReportMetric units survive.
+	if got := rep.Benchmarks[1].Metrics["hit_%"]; got != 88.20 {
+		t.Fatalf("custom metric hit_%% = %v, want 88.20", got)
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkCacheHitRateZipf/policy=s3fifo" {
+		t.Fatalf("sub-benchmark name: %q", rep.Benchmarks[1].Name)
+	}
+
+	// Package context switches with pkg: headers.
+	rb := rep.Benchmarks[2]
+	if rb.Pkg != "repro/internal/fleet" || rb.Metrics["pairs/sec"] != 748870 {
+		t.Fatalf("fleet benchmark: %+v", rb)
+	}
+
+	// No -P suffix means GOMAXPROCS was 1.
+	if last := rep.Benchmarks[3]; last.Name != "BenchmarkNoProcsSuffix" || last.Procs != 1 {
+		t.Fatalf("suffixless benchmark: %+v", last)
+	}
+}
+
+func TestParseRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                      // no fields
+		"BenchmarkBroken-8 notanumber 1 ns/op", // bad iterations
+		"BenchmarkBroken-8 10 xx ns/op",        // bad value
+		"Benchmark result pending",             // prose starting with Benchmark
+		"ok  repro 1.2s",
+		"PASS",
+	} {
+		if b, ok := parseBenchLine("p", line); ok {
+			t.Errorf("line %q wrongly parsed as %+v", line, b)
+		}
+	}
+}

@@ -36,6 +36,12 @@ type statsPayload struct {
 	Index struct {
 		Method string `json:"method"`
 	} `json:"index"`
+	// Fleet is present when the target is a reachrouter rather than a
+	// single reachd; its method fills in for the absent index section.
+	Fleet struct {
+		Method          string `json:"method"`
+		ReplicasHealthy int    `json:"replicas_healthy"`
+	} `json:"fleet"`
 	Cache struct {
 		Hits    int64   `json:"hits"`
 		Misses  int64   `json:"misses"`
@@ -116,8 +122,14 @@ func (lg *loadGen) run() error {
 			return fmt.Errorf("server rejected sampled vertex ID %d (HTTP %d): the graph's IDs are not dense — pass -graph with the served edge-list file", id, probe.StatusCode)
 		}
 	}
-	fmt.Printf("load-generating against %s: method=%s vertices=%d clients=%d batch=%d duration=%s\n",
-		lg.base, st.Index.Method, st.Graph.Vertices, lg.clients, lg.batch, lg.duration)
+	method := st.Index.Method
+	target := "single node"
+	if method == "" && st.Fleet.Method != "" {
+		method = st.Fleet.Method
+		target = fmt.Sprintf("fleet of %d", st.Fleet.ReplicasHealthy)
+	}
+	fmt.Printf("load-generating against %s (%s): method=%s vertices=%d clients=%d batch=%d duration=%s\n",
+		lg.base, target, method, st.Graph.Vertices, lg.clients, lg.batch, lg.duration)
 
 	var (
 		queries  atomic.Int64

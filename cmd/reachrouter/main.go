@@ -1,0 +1,112 @@
+// Command reachrouter fronts a fleet of reachd replicas that all serve
+// the same snapshot: it health-checks them by snapshot fingerprint
+// (refusing to enroll a replica serving a different graph),
+// load-balances single queries with power-of-two-choices on in-flight
+// counts, scatters /v1/batch bodies into per-replica sub-batches and
+// gathers the answers back in pair order, fails 429s and dead replicas
+// over to another replica, and re-probes ejected replicas with
+// exponential backoff.
+//
+// Usage:
+//
+//	reachrouter -replicas http://h1:8080,http://h2:8080,http://h3:8080
+//	            [-addr :8090] [-probe-interval 1s] [-probe-timeout 2s]
+//	            [-max-probe-backoff 30s] [-attempts 3] [-min-subbatch 64]
+//	            [-max-batch 1048576] [-upstream-timeout 30s]
+//
+// The router serves the same v1 API as a single reachd — /v1/healthz,
+// /v1/reachable, /v1/batch, /v1/stats — so clients point at the router
+// exactly as they would at one replica. /v1/stats adds fleet and
+// per-replica sections (routing counters plus each healthy replica's
+// live upstream stats); /v1/healthz answers 503 while no replica is
+// enrolled so a load balancer above can tell.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		replicas   = flag.String("replicas", "", "comma-separated reachd base URLs (required)")
+		probeIvl   = flag.Duration("probe-interval", fleet.DefaultProbeInterval, "health-check cadence for enrolled replicas")
+		probeTO    = flag.Duration("probe-timeout", fleet.DefaultProbeTimeout, "health probe timeout")
+		maxBackoff = flag.Duration("max-probe-backoff", fleet.DefaultMaxProbeBackoff, "cap on re-probe backoff for dead replicas")
+		attempts   = flag.Int("attempts", fleet.DefaultMaxAttempts, "distinct replicas to try per query or sub-batch")
+		minSub     = flag.Int("min-subbatch", fleet.DefaultMinSubBatch, "smallest batch worth scattering across replicas")
+		maxBatch   = flag.Int("max-batch", fleet.DefaultMaxBatchPairs, "max pairs per /v1/batch request")
+		upstreamTO = flag.Duration("upstream-timeout", 30*time.Second, "per-request timeout toward a replica (0 = none)")
+	)
+	flag.Parse()
+	if err := run(*addr, *replicas, fleet.Config{
+		ProbeInterval:   *probeIvl,
+		ProbeTimeout:    *probeTO,
+		MaxProbeBackoff: *maxBackoff,
+		MaxAttempts:     *attempts,
+		MinSubBatch:     *minSub,
+		MaxBatchPairs:   *maxBatch,
+		UpstreamTimeout: *upstreamTO,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "reachrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, replicas string, cfg fleet.Config) error {
+	if replicas == "" {
+		return fmt.Errorf("-replicas is required")
+	}
+	for _, r := range strings.Split(replicas, ",") {
+		r = strings.TrimSuffix(strings.TrimSpace(r), "/")
+		if r == "" {
+			continue
+		}
+		if !strings.Contains(r, "://") {
+			r = "http://" + r
+		}
+		cfg.Replicas = append(cfg.Replicas, r)
+	}
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing over %d replicas on %s", len(cfg.Replicas), addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("shutdown timed out")
+		}
+		return err
+	}
+	return nil
+}

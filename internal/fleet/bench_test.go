@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	reach "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// benchFleet stands up n real replicas (shared immutable oracle, the
+// same thing N mmaps of one snapshot give) and a router over them.
+func benchFleet(b *testing.B, n int) (*Router, *reach.Graph) {
+	b.Helper()
+	raw := gen.CitationDAG(5000, 4, 0.5, 3)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bases []string
+	for i := 0; i < n; i++ {
+		s := server.New(g, oracle, server.Config{})
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() { ts.Close(); s.Close() })
+		bases = append(bases, ts.URL)
+	}
+	cfg := Config{Replicas: bases, Logf: func(string, ...any) {}}
+	rt, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	return rt, g
+}
+
+func benchPairs(g *reach.Graph, size int) [][2]uint64 {
+	rng := rand.New(rand.NewSource(77))
+	n := g.NumVertices()
+	pairs := make([][2]uint64, size)
+	for i := range pairs {
+		pairs[i] = [2]uint64{uint64(rng.Intn(n)), uint64(rng.Intn(n))}
+	}
+	return pairs
+}
+
+// BenchmarkRouterBatch measures the scatter-gather fan-out overhead: one
+// 512-pair batch through a router fronting 1 vs 3 replicas, with the
+// pairs/op rate making throughput comparable to the single-node
+// BenchmarkServerBatch. replicas=1 isolates the router's own hop
+// (proxy + merge cost); replicas=3 adds the scatter across the fleet.
+func BenchmarkRouterBatch(b *testing.B) {
+	const batch = 512
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			rt, g := benchFleet(b, n)
+			pairs := benchPairs(g, batch)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Batch(ctx, pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
+		})
+	}
+}
+
+// BenchmarkDirectBatch is the no-router baseline: the same 512-pair
+// batch straight to one replica over the same client code path. The
+// delta to BenchmarkRouterBatch/replicas=1 is the router's added hop.
+func BenchmarkDirectBatch(b *testing.B) {
+	const batch = 512
+	rt, g := benchFleet(b, 1)
+	pairs := benchPairs(g, batch)
+	c := rt.replicas[0].client
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Batch(ctx, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
+}

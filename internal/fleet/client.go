@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client speaks the reachd v1 wire protocol to one replica. It reuses
+// the server package's exported wire types, so the router can never
+// drift from what the replicas actually serve.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the replica at base (e.g.
+// "http://10.0.0.3:8080"). timeout bounds each request end-to-end; zero
+// means no timeout.
+func NewClient(base string, timeout time.Duration) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: timeout}}
+}
+
+// Base returns the replica's base URL.
+func (c *Client) Base() string { return c.base }
+
+// StatusError is a non-2xx reply from a replica. The router decides per
+// status what to do: 429 and 5xx are retryable on another replica, other
+// 4xx are the caller's fault and pass through unchanged.
+type StatusError struct {
+	Status int
+	Body   string // replica's ErrorResponse body, best-effort decoded
+	// RetryAfter is the parsed Retry-After header in seconds (0 when
+	// absent); only meaningful on 429.
+	RetryAfter int
+}
+
+func (e *StatusError) Error() string {
+	if e.Body != "" {
+		return fmt.Sprintf("replica answered HTTP %d: %s", e.Status, e.Body)
+	}
+	return fmt.Sprintf("replica answered HTTP %d", e.Status)
+}
+
+// Retryable reports whether another replica might answer where this one
+// refused: overload (429) and server-side errors (5xx) are worth a
+// failover, caller errors (other 4xx) are not.
+func (e *StatusError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// do issues the request and decodes a 2xx JSON body into out. Non-2xx
+// replies become *StatusError; transport failures are returned as-is so
+// the router can treat them as replica death.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) // drain so keep-alive can reuse the conn
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &StatusError{Status: resp.StatusCode}
+		var eresp server.ErrorResponse
+		if body, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+			if json.Unmarshal(body, &eresp) == nil && eresp.Error != "" {
+				se.Body = eresp.Error
+			} else {
+				se.Body = string(bytes.TrimSpace(body))
+			}
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			se.RetryAfter = ra
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// Healthz probes the replica's liveness and serving identity.
+func (c *Client) Healthz(ctx context.Context) (server.HealthzResponse, error) {
+	var hz server.HealthzResponse
+	err := c.get(ctx, "/v1/healthz", &hz)
+	return hz, err
+}
+
+// Stats fetches the replica's full /v1/stats counters.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	var st server.Stats
+	err := c.get(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Reachable asks the replica one query.
+func (c *Client) Reachable(ctx context.Context, u, v uint64) (server.ReachableResponse, error) {
+	var rr server.ReachableResponse
+	err := c.get(ctx, fmt.Sprintf("/v1/reachable?u=%d&v=%d", u, v), &rr)
+	return rr, err
+}
+
+// Batch sends pairs to the replica's /v1/batch and returns the in-order
+// results. A reply whose result count does not match the pair count is a
+// protocol violation and is reported as an error rather than silently
+// misaligned.
+func (c *Client) Batch(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
+	body, err := json.Marshal(server.BatchRequest{Pairs: pairs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var br server.BatchResponse
+	if err := c.do(req, &br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(pairs) {
+		return nil, fmt.Errorf("replica answered %d results for %d pairs", len(br.Results), len(pairs))
+	}
+	return br.Results, nil
+}
+
+// CloseIdleConnections releases the client's pooled keep-alive
+// connections.
+func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }

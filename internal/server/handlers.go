@@ -57,8 +57,8 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 				// requests complete in well under a second unless the
 				// server is badly oversubscribed.
 				w.Header().Set("Retry-After", "1")
-				s.writeJSON(w, http.StatusTooManyRequests, map[string]string{
-					"error": fmt.Sprintf("server at max in-flight requests (%d); retry later", s.cfg.MaxInFlight),
+				s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+					Error: fmt.Sprintf("server at max in-flight requests (%d); retry later", s.cfg.MaxInFlight),
 				})
 				return
 			}
@@ -99,7 +99,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.met.errors.Add(1)
-	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // failTimeout reports a request abandoned because its context ended:
@@ -127,20 +127,13 @@ func (s *Server) failUnknownVertex(w http.ResponseWriter, bad uint64) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"method":   s.oracle.Method(),
-		"vertices": s.g.NumVertices(),
+	s.writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:      "ok",
+		Method:      s.oracle.Method(),
+		Vertices:    s.g.NumVertices(),
+		Fingerprint: s.fingerprint,
+		Source:      indexSource(s.oracle),
 	})
-}
-
-// reachableResponse is the /v1/reachable payload; u and v echo the
-// caller's IDs.
-type reachableResponse struct {
-	U         uint64 `json:"u"`
-	V         uint64 `json:"v"`
-	Reachable bool   `json:"reachable"`
-	Cached    bool   `json:"cached"`
 }
 
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
@@ -166,21 +159,9 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ans, cached := s.Reachable(du, dv)
-	s.writeJSON(w, http.StatusOK, reachableResponse{
+	s.writeJSON(w, http.StatusOK, ReachableResponse{
 		U: u, V: v, Reachable: ans, Cached: cached,
 	})
-}
-
-// batchRequest is the /v1/batch input; pairs naming unknown vertices
-// answer false rather than failing the whole batch.
-type batchRequest struct {
-	Pairs [][2]uint64 `json:"pairs"`
-}
-
-// batchResponse is the /v1/batch payload.
-type batchResponse struct {
-	Count   int    `json:"count"`
-	Results []bool `json:"results"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -191,7 +172,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// fits the byte cap. Whitespace-heavy encodings (MarshalIndent) can
 	// trip it earlier — the 413 body names the byte limit for that case.
 	body := http.MaxBytesReader(w, r.Body, 48*int64(s.cfg.MaxBatchPairs)+4096)
-	var req batchRequest
+	var req BatchRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -239,7 +220,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.failTimeout(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, batchResponse{
+	s.writeJSON(w, http.StatusOK, BatchResponse{
 		Count:   len(req.Pairs),
 		Results: results,
 	})

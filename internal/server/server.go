@@ -94,6 +94,11 @@ type Server struct {
 	met    *metrics
 	cfg    Config
 
+	// fingerprint is the graph's structural hash in hex, precomputed
+	// because Graph.Fingerprint walks the condensation map (O(V)) and
+	// /v1/healthz is probed every second by fleet routers.
+	fingerprint string
+
 	// gate is the admission-control semaphore: each in-flight query
 	// request holds one slot. Nil when MaxInFlight is 0.
 	gate chan struct{}
@@ -117,11 +122,12 @@ type Server struct {
 func New(g *reach.Graph, oracle *reach.Oracle, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		g:      g,
-		oracle: oracle,
-		met:    newMetrics(),
-		cfg:    cfg,
-		jobs:   make(chan func(), 4*cfg.Workers),
+		g:           g,
+		oracle:      oracle,
+		met:         newMetrics(),
+		cfg:         cfg,
+		fingerprint: FingerprintString(g.Fingerprint()),
+		jobs:        make(chan func(), 4*cfg.Workers),
 	}
 	if cfg.CacheCapacity >= 0 {
 		s.cache = newCache(cfg.CachePolicy, cfg.CacheShards, cfg.CacheCapacity)

@@ -70,17 +70,77 @@ func getJSON(t testing.TB, url string, into any) *http.Response {
 
 func TestHealthz(t *testing.T) {
 	g, _, ts := fixture(t, Config{})
-	var got struct {
-		Status   string `json:"status"`
-		Method   string `json:"method"`
-		Vertices int    `json:"vertices"`
-	}
+	var got HealthzResponse
 	resp := getJSON(t, ts.URL+"/v1/healthz", &got)
 	if resp.StatusCode != http.StatusOK || got.Status != "ok" {
 		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, got)
 	}
 	if got.Method != "DL" || got.Vertices != g.NumVertices() {
 		t.Fatalf("healthz reports %+v", got)
+	}
+	if got.Fingerprint != FingerprintString(g.Fingerprint()) {
+		t.Fatalf("healthz fingerprint %q, want %q", got.Fingerprint, FingerprintString(g.Fingerprint()))
+	}
+	if got.Source != "built" {
+		t.Fatalf("healthz source %q, want built", got.Source)
+	}
+}
+
+// TestHealthzIdentity pins the fleet-enrollment contract: every replica
+// serving one snapshot reports the same fingerprint, a replica serving a
+// different graph reports a different one, and a snapshot-loaded server
+// reports the fingerprint of the graph it was saved from.
+func TestHealthzIdentity(t *testing.T) {
+	g, _, ts := fixture(t, Config{})
+	var a HealthzResponse
+	getJSON(t, ts.URL+"/v1/healthz", &a)
+	if len(a.Fingerprint) != 16 {
+		t.Fatalf("fingerprint %q is not fixed-width hex", a.Fingerprint)
+	}
+
+	// Same graph, snapshot-loaded: identical fingerprint, source=snapshot.
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := oracle.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := reach.LoadBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(loaded.Graph(), loaded, Config{})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var b HealthzResponse
+	getJSON(t, ts2.URL+"/v1/healthz", &b)
+	if b.Fingerprint != a.Fingerprint {
+		t.Fatalf("snapshot replica fingerprint %q != builder's %q", b.Fingerprint, a.Fingerprint)
+	}
+	if b.Source != "snapshot" {
+		t.Fatalf("snapshot replica source %q, want snapshot", b.Source)
+	}
+
+	// Different graph: different fingerprint, so a router can refuse it.
+	og, err := reach.NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, err := reach.Build(og, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := New(og, oo, Config{})
+	defer s3.Close()
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	var c HealthzResponse
+	getJSON(t, ts3.URL+"/v1/healthz", &c)
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different graphs share a fingerprint")
 	}
 }
 
@@ -94,7 +154,7 @@ func TestReachableEndpoint(t *testing.T) {
 	n := g.NumVertices()
 	for i := 0; i < 200; i++ {
 		u, v := rng.Intn(n), rng.Intn(n)
-		var got reachableResponse
+		var got ReachableResponse
 		resp := getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts.URL, u, v), &got)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("query (%d,%d): status %d", u, v, resp.StatusCode)
@@ -105,7 +165,7 @@ func TestReachableEndpoint(t *testing.T) {
 	}
 	// A repeated query must come from the cache.
 	getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", nil)
-	var got reachableResponse
+	var got ReachableResponse
 	getJSON(t, ts.URL+"/v1/reachable?u=0&v=1", &got)
 	if !got.Cached {
 		t.Error("repeat query not served from cache")
@@ -128,9 +188,9 @@ func TestReachableEndpointRejectsBadInput(t *testing.T) {
 	}
 }
 
-func postBatch(t testing.TB, url string, pairs [][2]uint64) (*http.Response, batchResponse) {
+func postBatch(t testing.TB, url string, pairs [][2]uint64) (*http.Response, BatchResponse) {
 	t.Helper()
-	body, err := json.Marshal(batchRequest{Pairs: pairs})
+	body, err := json.Marshal(BatchRequest{Pairs: pairs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +203,7 @@ func postBatch(t testing.TB, url string, pairs [][2]uint64) (*http.Response, bat
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got batchResponse
+	var got BatchResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.Unmarshal(raw, &got); err != nil {
 			t.Fatalf("bad batch JSON %q: %v", raw, err)
@@ -512,13 +572,13 @@ func TestServerConcurrentHammer(t *testing.T) {
 						pairs[j] = [2]uint32{rng.Uint32() % n, rng.Uint32() % n}
 						wire[j] = [2]uint64{uint64(pairs[j][0]), uint64(pairs[j][1])}
 					}
-					body, _ := json.Marshal(batchRequest{Pairs: wire})
+					body, _ := json.Marshal(BatchRequest{Pairs: wire})
 					resp, err := client.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
 					if err != nil {
 						errc <- err
 						return
 					}
-					var got batchResponse
+					var got BatchResponse
 					err = json.NewDecoder(resp.Body).Decode(&got)
 					resp.Body.Close()
 					if err != nil {
@@ -539,7 +599,7 @@ func TestServerConcurrentHammer(t *testing.T) {
 					errc <- err
 					return
 				}
-				var got reachableResponse
+				var got ReachableResponse
 				err = json.NewDecoder(resp.Body).Decode(&got)
 				resp.Body.Close()
 				if err != nil {
@@ -584,7 +644,7 @@ func TestOrigIDMapping(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var got reachableResponse
+	var got ReachableResponse
 	if resp := getJSON(t, ts.URL+"/v1/reachable?u=100&v=42", &got); resp.StatusCode != http.StatusOK {
 		t.Fatalf("raw-ID query: status %d", resp.StatusCode)
 	}
@@ -641,7 +701,7 @@ func TestSnapshotRoundTripServing(t *testing.T) {
 	n := g.NumVertices()
 	for i := 0; i < 200; i++ {
 		u, v := rng.Intn(n), rng.Intn(n)
-		var a, b reachableResponse
+		var a, b ReachableResponse
 		getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts.URL, u, v), &a)
 		getJSON(t, fmt.Sprintf("%s/v1/reachable?u=%d&v=%d", ts2.URL, u, v), &b)
 		if a.Reachable != b.Reachable {

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Cluster E2E: prove that a 3-replica reachd fleet behind reachrouter
+# answers a query sweep exactly like single-node reachcli — including
+# while one replica is SIGKILLed mid-sweep (the failover path), and on a
+# full scatter-gathered batch while the fleet is degraded.
+#
+# Run from the repo root:  ./scripts/cluster_e2e.sh
+# CI runs this as the cluster-e2e job.
+set -euo pipefail
+
+WORK="${WORK:-$(mktemp -d /tmp/reachfleet-e2e.XXXXXX)}"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+ROUTER_ADDR="127.0.0.1:18080"
+REPLICA_PORTS=(18081 18082 18083)
+
+echo "== build binaries"
+go build -o "$BIN" ./cmd/...
+
+PIDS=()
+cleanup() {
+  kill -9 "${PIDS[@]}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== generate graph + deterministic 240-pair query sweep"
+"$BIN/gengraph" -family citation -n 20000 -m 80000 -seed 7 -out "$WORK/g.txt"
+awk 'BEGIN{
+  s=42
+  for (i = 0; i < 240; i++) {
+    s = (s * 1103515245 + 12345) % 2147483648; u = s % 20000
+    s = (s * 1103515245 + 12345) % 2147483648; v = s % 20000
+    print u, v
+  }
+}' > "$WORK/pairs.txt"
+
+echo "== single-node ground truth (reachcli builds the index and saves the fleet's snapshot)"
+"$BIN/reachcli" -graph "$WORK/g.txt" -method DL -save "$WORK/g.snap" \
+  < "$WORK/pairs.txt" > "$WORK/expected.txt"
+grep -cq true "$WORK/expected.txt" || { echo "sweep has no reachable pairs — not a meaningful test"; exit 1; }
+
+echo "== start 3 replicas (each mmap-loads the one snapshot) + the router"
+for port in "${REPLICA_PORTS[@]}"; do
+  "$BIN/reachd" -snapshot "$WORK/g.snap" -addr "127.0.0.1:$port" \
+    > "$WORK/reachd-$port.log" 2>&1 &
+  PIDS+=($!)
+done
+"$BIN/reachrouter" -addr "$ROUTER_ADDR" \
+  -replicas "http://127.0.0.1:${REPLICA_PORTS[0]},http://127.0.0.1:${REPLICA_PORTS[1]},http://127.0.0.1:${REPLICA_PORTS[2]}" \
+  -probe-interval 100ms > "$WORK/router.log" 2>&1 &
+PIDS+=($!)
+
+echo "== wait for the router to enroll all 3 replicas"
+for i in $(seq 1 150); do
+  if curl -fsS "http://$ROUTER_ADDR/v1/healthz" 2>/dev/null | grep -q '"replicas_healthy":3'; then
+    break
+  fi
+  if [ "$i" -eq 150 ]; then
+    echo "fleet never became fully healthy"; cat "$WORK/router.log"; exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$ROUTER_ADDR/v1/healthz"; echo
+
+echo "== sweep through the router, SIGKILLing replica :${REPLICA_PORTS[0]} at query 120"
+: > "$WORK/got.txt"
+n=0
+while read -r u v; do
+  n=$((n + 1))
+  if [ "$n" -eq 120 ]; then
+    echo "   ... SIGKILL replica ${REPLICA_PORTS[0]} (pid ${PIDS[0]}) mid-sweep"
+    kill -9 "${PIDS[0]}"
+  fi
+  ans=$(curl -fsS "http://$ROUTER_ADDR/v1/reachable?u=$u&v=$v" \
+    | sed -E 's/.*"reachable":(true|false).*/\1/')
+  echo "$u $v $ans" >> "$WORK/got.txt"
+done < "$WORK/pairs.txt"
+
+echo "== diff sweep answers against single-node reachcli"
+diff "$WORK/expected.txt" "$WORK/got.txt"
+echo "   sweep identical across router failover ($(wc -l < "$WORK/got.txt") queries)"
+
+echo "== full 240-pair batch through the degraded (2/3) fleet"
+{
+  printf '{"pairs":['
+  awk '{printf "%s[%d,%d]", (NR > 1 ? "," : ""), $1, $2}' "$WORK/pairs.txt"
+  printf ']}'
+} > "$WORK/batch.json"
+curl -fsS -X POST --data-binary "@$WORK/batch.json" \
+  "http://$ROUTER_ADDR/v1/batch" > "$WORK/batch.out"
+sed -E 's/.*"results":\[([^]]*)\].*/\1/' "$WORK/batch.out" | tr ',' '\n' > "$WORK/batch_got.txt"
+awk '{print $3}' "$WORK/expected.txt" > "$WORK/batch_expected.txt"
+diff "$WORK/batch_expected.txt" "$WORK/batch_got.txt"
+echo "   scatter-gathered batch identical while degraded"
+
+echo "== router stats must show the kill (a down replica + failover/retry counters)"
+curl -fsS "http://$ROUTER_ADDR/v1/stats" > "$WORK/stats.json"
+grep -q '"state":"down"' "$WORK/stats.json" || { echo "no replica marked down"; cat "$WORK/stats.json"; exit 1; }
+grep -q '"replicas_healthy":2' "$WORK/stats.json" || { echo "fleet not degraded to 2/3"; cat "$WORK/stats.json"; exit 1; }
+
+echo "PASS: fleet answers == single-node answers, before and after replica death"
