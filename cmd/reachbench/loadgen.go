@@ -8,13 +8,13 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	reach "repro"
+	"repro/internal/obs"
 )
 
 // loadGen drives a running reachd in a closed loop: each client POSTs a
@@ -47,6 +47,27 @@ type statsPayload struct {
 		Misses  int64   `json:"misses"`
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
+}
+
+// scrapeBatchHist reads the target's server-side batch-request latency
+// histogram from /metrics. Best-effort: a target without /metrics (or
+// an unparsable exposition) just returns nil and the run reports
+// client-side latency only.
+func (lg *loadGen) scrapeBatchHist() *obs.ScrapedHist {
+	resp, err := http.Get(lg.base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	h, err := obs.ParseHistogram(resp.Body, "reach_http_request_seconds", obs.Labels{"endpoint": "batch"})
+	if err != nil {
+		return nil
+	}
+	return h
 }
 
 func (lg *loadGen) fetchStats() (statsPayload, error) {
@@ -138,31 +159,24 @@ func (lg *loadGen) run() error {
 		failures atomic.Int64
 		wg       sync.WaitGroup
 	)
-	// Per-client latency reservoirs of successful requests, merged after
-	// the run for p50/p99; only the owning goroutine writes its slot.
-	// Reservoir sampling (algorithm R) caps memory on long soak runs —
-	// an hour at 10k req/s would otherwise accumulate hundreds of MB of
-	// samples inside the tool that is supposed to be measuring the box.
-	const maxSamplesPerClient = 1 << 16
-	latencies := make([][]time.Duration, lg.clients)
+	// One shared lock-free histogram of successful request latencies: a
+	// few KB of fixed memory no matter how long the soak runs, every
+	// sample counted (no reservoir sampling), and quantiles within ~3%
+	// relative error — the same structure the server itself records into,
+	// so client-side and server-side percentiles are comparable.
+	var lat obs.Histogram
+	// Server-side view of the same window, scraped from /metrics before
+	// and after the run and differenced (nil if the target has none).
+	serverStart := lg.scrapeBatchHist()
 	deadline := time.Now().Add(lg.duration)
 	start := time.Now()
 	for c := 0; c < lg.clients; c++ {
 		wg.Add(1)
-		go func(c int, seed int64) {
+		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			client := &http.Client{Timeout: 30 * time.Second}
 			pairs := make([][2]uint64, lg.batch)
-			sampled := 0
-			recordLatency := func(d time.Duration) {
-				sampled++
-				if len(latencies[c]) < maxSamplesPerClient {
-					latencies[c] = append(latencies[c], d)
-				} else if j := rng.Intn(sampled); j < maxSamplesPerClient {
-					latencies[c][j] = d
-				}
-			}
 			for time.Now().Before(deadline) {
 				for i := range pairs {
 					pairs[i] = [2]uint64{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]}
@@ -180,7 +194,7 @@ func (lg *loadGen) run() error {
 				}
 				switch resp.StatusCode {
 				case http.StatusOK:
-					recordLatency(time.Since(reqStart))
+					lat.RecordSince(reqStart)
 					queries.Add(int64(lg.batch))
 					requests.Add(1)
 				case http.StatusTooManyRequests:
@@ -206,7 +220,7 @@ func (lg *loadGen) run() error {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 			}
-		}(c, lg.seed+int64(c))
+		}(lg.seed + int64(c))
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -216,20 +230,25 @@ func (lg *loadGen) run() error {
 	fmt.Printf("throughput: %.0f queries/sec (%.1f requests/sec)\n",
 		float64(queries.Load())/elapsed.Seconds(),
 		float64(requests.Load())/elapsed.Seconds())
-	var all []time.Duration
-	for _, ls := range latencies {
-		all = append(all, ls...)
-	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		quantile := func(q float64) time.Duration {
-			i := int(q * float64(len(all)-1))
-			return all[i]
+	if snap := lat.Snapshot(); snap.Count > 0 {
+		q := func(p float64) time.Duration {
+			return time.Duration(snap.Quantile(p)).Round(time.Microsecond)
 		}
-		fmt.Printf("latency: p50 %s  p99 %s  max %s (%d samples)\n",
-			quantile(0.50).Round(time.Microsecond),
-			quantile(0.99).Round(time.Microsecond),
-			all[len(all)-1].Round(time.Microsecond), len(all))
+		fmt.Printf("latency (client):  p50 %s  p99 %s  max %s (%d samples)\n",
+			q(0.50), q(0.99), time.Duration(snap.Max).Round(time.Microsecond), snap.Count)
+		// Server-side percentiles for the same window: the difference of
+		// the /metrics batch-request histogram across the run. The gap
+		// between the two rows is what the wire (and the client's own
+		// scheduling) costs.
+		if end := lg.scrapeBatchHist(); end != nil && serverStart != nil {
+			if err := end.Sub(serverStart); err == nil && end.Count > 0 {
+				sq := func(p float64) time.Duration {
+					return time.Duration(end.Quantile(p) * float64(time.Second)).Round(time.Microsecond)
+				}
+				fmt.Printf("latency (server):  p50 %s  p99 %s  (%d requests, from /metrics)\n",
+					sq(0.50), sq(0.99), end.Count)
+			}
+		}
 	}
 	if attempts := requests.Load() + rejected.Load() + failures.Load(); attempts > 0 && rejected.Load() > 0 {
 		fmt.Printf("rejection rate: %.1f%% of attempts shed by the admission gate\n",

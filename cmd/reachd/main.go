@@ -8,6 +8,7 @@
 //	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot g.snap]
 //	       [-workers N] [-cache-policy s3fifo] [-cache-capacity 1048576]
 //	       [-cache-shards 64] [-request-timeout 0] [-max-inflight 0]
+//	       [-slow-query-log 50ms] [-pprof]
 //
 // If -snapshot names an existing snapshot of the same graph and method,
 // it is memory-mapped and serving starts in milliseconds — the snapshot
@@ -23,9 +24,15 @@
 //	GET  /v1/reachable?u=U&v=V
 //	POST /v1/batch          {"pairs": [[u,v], ...]}
 //	GET  /v1/stats
+//	GET  /metrics           Prometheus text-format exposition
 //
 // Vertex IDs in queries are the original IDs from the edge-list file —
 // the same IDs reachcli answers with for the same graph.
+//
+// Observability: every query response echoes an X-Reach-Trace ID and an
+// X-Reach-Server-Timing per-stage breakdown; -slow-query-log T writes a
+// JSON line to stderr for each request slower than T; -pprof mounts
+// net/http/pprof under /debug/pprof/.
 //
 // Overload protection: -request-timeout puts a deadline on every query
 // request (an expired batch stops mid-dispatch and answers 503), and
@@ -64,6 +71,8 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 0, "max pairs per /v1/batch request (default 1<<20)")
 		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline; expired requests answer 503 (0 disables; defaults to 30s when -max-inflight is set)")
 		inflight  = flag.Int("max-inflight", 0, "max concurrent query requests before answering 429 (0 = unlimited)")
+		slowTO    = flag.Duration("slow-query-log", 0, "log queries slower than this as JSON lines on stderr (0 disables)")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *policy != server.PolicyS3FIFO && *policy != server.PolicyFIFO {
@@ -80,13 +89,15 @@ func main() {
 		}
 	})
 	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, server.Config{
-		Workers:        *workers,
-		CachePolicy:    *policy,
-		CacheShards:    *shards,
-		CacheCapacity:  *cacheCap,
-		MaxBatchPairs:  *maxBatch,
-		RequestTimeout: *reqTO,
-		MaxInFlight:    *inflight,
+		Workers:            *workers,
+		CachePolicy:        *policy,
+		CacheShards:        *shards,
+		CacheCapacity:      *cacheCap,
+		MaxBatchPairs:      *maxBatch,
+		RequestTimeout:     *reqTO,
+		MaxInFlight:        *inflight,
+		SlowQueryThreshold: *slowTO,
+		EnablePprof:        *pprof,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "reachd: %v\n", err)
 		os.Exit(1)

@@ -13,13 +13,22 @@
 //	            [-addr :8090] [-probe-interval 1s] [-probe-timeout 2s]
 //	            [-max-probe-backoff 30s] [-attempts 3] [-min-subbatch 64]
 //	            [-max-batch 1048576] [-upstream-timeout 30s]
+//	            [-slow-query-log 100ms] [-pprof]
 //
 // The router serves the same v1 API as a single reachd — /v1/healthz,
-// /v1/reachable, /v1/batch, /v1/stats — so clients point at the router
-// exactly as they would at one replica. /v1/stats adds fleet and
-// per-replica sections (routing counters plus each healthy replica's
+// /v1/reachable, /v1/batch, /v1/stats, /metrics — so clients point at
+// the router exactly as they would at one replica. /v1/stats adds fleet
+// and per-replica sections (routing counters plus each healthy replica's
 // live upstream stats); /v1/healthz answers 503 while no replica is
 // enrolled so a load balancer above can tell.
+//
+// Observability: the router stamps every request with an X-Reach-Trace
+// ID (minting one when the client sent none) and forwards it to the
+// replica it picks, so one ID follows a query through both tiers'
+// logs; /metrics exposes routing counters, per-replica round-trip
+// histograms and the same reach_http_request_seconds series reachd
+// serves; -slow-query-log T writes a JSON line to stderr per routed
+// request slower than T; -pprof mounts net/http/pprof.
 package main
 
 import (
@@ -49,16 +58,20 @@ func main() {
 		minSub     = flag.Int("min-subbatch", fleet.DefaultMinSubBatch, "smallest batch worth scattering across replicas")
 		maxBatch   = flag.Int("max-batch", fleet.DefaultMaxBatchPairs, "max pairs per /v1/batch request")
 		upstreamTO = flag.Duration("upstream-timeout", 30*time.Second, "per-request timeout toward a replica (0 = none)")
+		slowTO     = flag.Duration("slow-query-log", 0, "log routed requests slower than this as JSON lines on stderr (0 disables)")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if err := run(*addr, *replicas, fleet.Config{
-		ProbeInterval:   *probeIvl,
-		ProbeTimeout:    *probeTO,
-		MaxProbeBackoff: *maxBackoff,
-		MaxAttempts:     *attempts,
-		MinSubBatch:     *minSub,
-		MaxBatchPairs:   *maxBatch,
-		UpstreamTimeout: *upstreamTO,
+		ProbeInterval:      *probeIvl,
+		ProbeTimeout:       *probeTO,
+		MaxProbeBackoff:    *maxBackoff,
+		MaxAttempts:        *attempts,
+		MinSubBatch:        *minSub,
+		MaxBatchPairs:      *maxBatch,
+		UpstreamTimeout:    *upstreamTO,
+		SlowQueryThreshold: *slowTO,
+		EnablePprof:        *pprof,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "reachrouter: %v\n", err)
 		os.Exit(1)

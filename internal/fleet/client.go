@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -58,8 +59,13 @@ func (e *StatusError) Retryable() bool {
 
 // do issues the request and decodes a 2xx JSON body into out. Non-2xx
 // replies become *StatusError; transport failures are returned as-is so
-// the router can treat them as replica death.
+// the router can treat them as replica death. A trace ID carried by the
+// request's context propagates to the replica as X-Reach-Trace, so one
+// ID follows a query through router and replica logs.
 func (c *Client) do(req *http.Request, out any) error {
+	if id := obs.TraceFrom(req.Context()); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

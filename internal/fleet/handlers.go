@@ -8,22 +8,56 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 // Handler returns the router's HTTP mux. It serves the same v1 surface
-// as a single reachd — /v1/healthz, /v1/reachable, /v1/batch, /v1/stats
-// — so clients, load balancers and the reachbench load generator cannot
-// tell a fleet from a single node (except that /v1/stats grows fleet and
-// per-replica sections).
+// as a single reachd — /v1/healthz, /v1/reachable, /v1/batch, /v1/stats,
+// /metrics — so clients, load balancers and the reachbench load
+// generator cannot tell a fleet from a single node (except that
+// /v1/stats grows fleet and per-replica sections, and /metrics carries
+// reach_router_* series instead of serving-stage ones). With
+// Config.EnablePprof, net/http/pprof is mounted under /debug/pprof/.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/reachable", rt.handleReachable)
 	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.Handle("GET /metrics", rt.met.reg.Handler())
+	if rt.cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
+}
+
+// finishTrace closes out a routed request: sets the Server-Timing
+// header (route = time inside the routing layer, scatter to gather),
+// records the request histogram, and emits a slow-query record when the
+// total crosses the configured threshold.
+func (rt *Router) finishTrace(w http.ResponseWriter, traceID string, start time.Time, routeD time.Duration, hist *obs.Histogram, endpoint string, pairs, status int) {
+	total := time.Since(start)
+	w.Header().Set(obs.ServerTimingHeader, obs.FormatServerTiming([]obs.Stage{
+		{Name: "route", D: routeD},
+		{Name: "total", D: total},
+	}))
+	hist.RecordDuration(total)
+	if rt.met.slow.Slow(total) {
+		rt.met.slow.Emit(server.SlowQueryRecord{
+			Time:       time.Now().UTC().Format(time.RFC3339Nano),
+			Trace:      traceID,
+			Endpoint:   endpoint,
+			Status:     status,
+			DurationMS: float64(total) / 1e6,
+			Pairs:      pairs,
+			StagesMS: map[string]float64{
+				"route": float64(routeD) / 1e6,
+			},
+		})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -75,13 +109,17 @@ func (rt *Router) writeRouteError(w http.ResponseWriter, err error) {
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	id := rt.FleetIdentity()
 	healthy := len(rt.healthy(nil))
+	bi := obs.BuildInfo()
 	hz := RouterHealthz{
 		HealthzResponse: server.HealthzResponse{
-			Status:      "ok",
-			Method:      id.Method,
-			Vertices:    id.Vertices,
-			Fingerprint: id.Fingerprint,
-			Source:      "fleet",
+			Status:        "ok",
+			Method:        id.Method,
+			Vertices:      id.Vertices,
+			Fingerprint:   id.Fingerprint,
+			Source:        "fleet",
+			GoVersion:     bi.GoVersion,
+			Revision:      bi.Revision,
+			UptimeSeconds: rt.met.uptimeSeconds(),
 		},
 		ReplicasHealthy: healthy,
 		ReplicasTotal:   len(rt.replicas),
@@ -107,22 +145,53 @@ type RouterHealthz struct {
 }
 
 func (rt *Router) handleReachable(w http.ResponseWriter, r *http.Request) {
+	traceID := obs.EnsureTrace(w, r)
+	start := time.Now()
 	q := r.URL.Query()
 	u, errU := strconv.ParseUint(q.Get("u"), 10, 64)
 	v, errV := strconv.ParseUint(q.Get("v"), 10, 64)
 	if errU != nil || errV != nil {
+		rt.finishTrace(w, traceID, start, 0, rt.met.reqReachable, "reachable", 1, http.StatusBadRequest)
 		rt.failf(w, http.StatusBadRequest, "u and v must be non-negative integer query parameters")
 		return
 	}
-	resp, err := rt.Reachable(r.Context(), u, v)
+	t0 := time.Now()
+	resp, err := rt.Reachable(obs.WithTrace(r.Context(), traceID), u, v)
+	routeD := time.Since(t0)
 	if err != nil {
+		rt.finishTrace(w, traceID, start, routeD, rt.met.reqReachable, "reachable", 1, routeErrorStatus(err))
 		rt.writeRouteError(w, err)
 		return
 	}
+	rt.finishTrace(w, traceID, start, routeD, rt.met.reqReachable, "reachable", 1, http.StatusOK)
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// routeErrorStatus mirrors writeRouteError's status mapping for the
+// slow-query log and metrics without writing anything.
+func routeErrorStatus(err error) int {
+	var se *StatusError
+	switch {
+	case errors.Is(err, ErrNoReplicas):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &se):
+		if se.Status == http.StatusTooManyRequests || (se.Status >= 400 && se.Status < 500) {
+			return se.Status
+		}
+		return http.StatusBadGateway
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
+}
+
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	traceID := obs.EnsureTrace(w, r)
+	start := time.Now()
+	done := func(routeD time.Duration, pairs, status int) {
+		rt.finishTrace(w, traceID, start, routeD, rt.met.reqBatch, "batch", pairs, status)
+	}
 	// Same byte-cap rationale as reachd's /v1/batch: bound memory before
 	// decoding, ~48 bytes covers any compactly-encoded pair.
 	body := http.MaxBytesReader(w, r.Body, 48*int64(rt.cfg.MaxBatchPairs)+4096)
@@ -132,22 +201,29 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			done(0, 0, http.StatusRequestEntityTooLarge)
 			rt.failf(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
+		done(0, 0, http.StatusBadRequest)
 		rt.failf(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}
 	if len(req.Pairs) > rt.cfg.MaxBatchPairs {
+		done(0, len(req.Pairs), http.StatusRequestEntityTooLarge)
 		rt.failf(w, http.StatusRequestEntityTooLarge,
 			"batch of %d pairs exceeds limit %d", len(req.Pairs), rt.cfg.MaxBatchPairs)
 		return
 	}
-	results, err := rt.Batch(r.Context(), req.Pairs)
+	t0 := time.Now()
+	results, err := rt.Batch(obs.WithTrace(r.Context(), traceID), req.Pairs)
+	routeD := time.Since(t0)
 	if err != nil {
+		done(routeD, len(req.Pairs), routeErrorStatus(err))
 		rt.writeRouteError(w, err)
 		return
 	}
+	done(routeD, len(req.Pairs), http.StatusOK)
 	writeJSON(w, http.StatusOK, server.BatchResponse{Count: len(req.Pairs), Results: results})
 }
 
@@ -157,7 +233,11 @@ type ReplicaStats struct {
 	State       string `json:"state"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Method      string `json:"method,omitempty"`
-	InFlight    int64  `json:"in_flight"`
+	// Build identity the replica reported on its last successful probe,
+	// so one router stats read spots a replica running stale code.
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	InFlight  int64  `json:"in_flight"`
 	// Requests/Errors/Rejected count what THIS router sent the replica;
 	// the replica's own lifetime counters are under Upstream.
 	Requests int64 `json:"requests"`
@@ -182,6 +262,8 @@ type FleetStats struct {
 	Upstream429     int64   `json:"upstream_429"`
 	Failovers       int64   `json:"failovers"`
 	NoReplicaErrors int64   `json:"no_replica_errors"`
+	Probes          int64   `json:"probes"`
+	SlowQueries     int64   `json:"slow_queries"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	// Summed over healthy replicas' live /v1/stats:
 	UpstreamQueries int64 `json:"upstream_queries"`
@@ -223,6 +305,8 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 			Upstream429:     rt.met.upstream429.Load(),
 			Failovers:       rt.met.failovers.Load(),
 			NoReplicaErrors: rt.met.noReplicas.Load(),
+			Probes:          rt.met.probes.Load(),
+			SlowQueries:     rt.met.slow.Emitted(),
 			UptimeSeconds:   rt.met.uptimeSeconds(),
 		},
 		Replicas: make([]ReplicaStats, len(rt.replicas)),
@@ -240,6 +324,8 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 		if id := r.ident.Load(); id != nil {
 			st.Fingerprint = id.Fingerprint
 			st.Method = id.Method
+			st.GoVersion = id.GoVersion
+			st.Revision = id.Revision
 		}
 		out.Replicas[i] = st
 		if st.State != "healthy" {

@@ -14,13 +14,16 @@ package fleet
 import (
 	"context"
 	"errors"
+	"io"
 	"log"
 	"math/rand/v2"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -64,6 +67,16 @@ type Config struct {
 	// Logf receives operational events (enrollment, ejection,
 	// mismatches). Defaults to log.Printf; tests silence it.
 	Logf func(format string, args ...any)
+	// SlowQueryThreshold enables the slow-query log: routed requests
+	// slower than this emit one JSON line to SlowQueryWriter. Zero
+	// disables it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryWriter receives slow-query JSON lines (default os.Stderr
+	// when SlowQueryThreshold is set).
+	SlowQueryWriter io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// router's mux.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryWriter == nil {
+		c.SlowQueryWriter = os.Stderr
 	}
 	return c
 }
@@ -116,11 +132,14 @@ func stateName(s int32) string {
 	}
 }
 
-// identity is what a replica's /v1/healthz claims it serves.
+// identity is what a replica's /v1/healthz claims it serves, plus the
+// build identity of the binary serving it.
 type identity struct {
 	Fingerprint string
 	Method      string
 	Vertices    int
+	GoVersion   string
+	Revision    string
 }
 
 // replica is the router's view of one backend.
@@ -137,6 +156,10 @@ type replica struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	rejected atomic.Int64 // 429s received from this replica
+
+	// rtt tracks this replica's upstream round-trip latency as measured
+	// by the router (one sample per routed call, failures included).
+	rtt *obs.Histogram
 
 	// Probe bookkeeping, guarded by mu.
 	mu          sync.Mutex
@@ -172,9 +195,56 @@ type routerMetrics struct {
 	upstream429   atomic.Int64 // 429s absorbed by failover
 	failovers     atomic.Int64 // transport failures that ejected a replica
 	noReplicas    atomic.Int64 // requests failed for want of any replica
+	probes        atomic.Int64 // health probes issued (successful or not)
+
+	reg *obs.Registry
+	// Request-level histograms, intentionally named the same as reachd's
+	// (reach_http_request_seconds{endpoint=...}) so one scrape query
+	// covers both tiers; the router's samples include scatter, upstream
+	// round trips and gather.
+	reqReachable *obs.Histogram
+	reqBatch     *obs.Histogram
+	// Scatter/gather stage histograms for batches.
+	scatterDur *obs.Histogram
+
+	slow *obs.SlowLog
 }
 
 func (m *routerMetrics) uptimeSeconds() float64 { return time.Since(m.start).Seconds() }
+
+// init builds the registry and registers everything derivable from the
+// metrics struct itself; per-replica and fleet-level series are added in
+// New once the replica set exists.
+func (m *routerMetrics) init() {
+	m.start = time.Now()
+	m.reg = obs.NewRegistry()
+	m.reqReachable = m.reg.Histogram("reach_http_request_seconds",
+		"End-to-end latency of routed query requests, including scatter, upstream round trips and gather.",
+		obs.Labels{"endpoint": "reachable"})
+	m.reqBatch = m.reg.Histogram("reach_http_request_seconds",
+		"End-to-end latency of routed query requests, including scatter, upstream round trips and gather.",
+		obs.Labels{"endpoint": "batch"})
+	m.scatterDur = m.reg.Histogram("reach_router_scatter_seconds",
+		"Latency of one scatter/gather round: splitting a batch, dispatching sub-batches and merging answers.",
+		nil)
+	m.reg.CounterFunc("reach_router_requests_total", "Single queries routed.", nil, m.requests.Load)
+	m.reg.CounterFunc("reach_router_batch_requests_total", "Batch requests routed.", nil, m.batchRequests.Load)
+	m.reg.CounterFunc("reach_router_sub_batches_total", "Sub-batches scattered to replicas.", nil, m.subBatches.Load)
+	m.reg.CounterFunc("reach_router_retries_total", "Extra routing attempts after a failed or refused one.", nil, m.retries.Load)
+	m.reg.CounterFunc("reach_router_upstream_429_total", "429 responses absorbed by failover.", nil, m.upstream429.Load)
+	m.reg.CounterFunc("reach_router_failovers_total", "Transport failures that ejected a replica.", nil, m.failovers.Load)
+	m.reg.CounterFunc("reach_router_no_replica_errors_total", "Requests failed for want of any healthy replica.", nil, m.noReplicas.Load)
+	m.reg.CounterFunc("reach_router_probes_total", "Health probes issued to replicas.", nil, m.probes.Load)
+	// m.slow is assigned after init returns; the closure (unlike a method
+	// value) picks up the final pointer at scrape time.
+	m.reg.CounterFunc("reach_router_slow_queries_total", "Routed requests recorded in the slow-query log.", nil,
+		func() int64 { return m.slow.Emitted() })
+	m.reg.GaugeFunc("reach_uptime_seconds", "Seconds since the router was created.", nil,
+		func() float64 { return time.Since(m.start).Seconds() })
+	bi := obs.BuildInfo()
+	m.reg.GaugeFunc("reach_build_info", "Build metadata carried as labels; the value is fixed at 1.",
+		obs.Labels{"go_version": bi.GoVersion, "revision": bi.Revision}, func() float64 { return 1 })
+}
 
 // New builds a router over cfg.Replicas, runs one synchronous probe
 // round so an immediately following query finds whatever is already up,
@@ -187,7 +257,8 @@ func New(cfg Config) (*Router, error) {
 	}
 	seen := make(map[string]bool, len(cfg.Replicas))
 	rt := &Router{cfg: cfg, stop: make(chan struct{})}
-	rt.met.start = time.Now()
+	rt.met.init()
+	rt.met.slow = obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQueryThreshold)
 	for _, base := range cfg.Replicas {
 		if base == "" || seen[base] {
 			return nil, errors.New("fleet: replica URLs must be non-empty and unique")
@@ -196,8 +267,15 @@ func New(cfg Config) (*Router, error) {
 		rt.replicas = append(rt.replicas, &replica{
 			base:   base,
 			client: NewClient(base, cfg.UpstreamTimeout),
+			rtt: rt.met.reg.Histogram("reach_router_upstream_seconds",
+				"Round-trip latency of one routed call to a replica, as measured by the router.",
+				obs.Labels{"replica": base}),
 		})
 	}
+	rt.met.reg.GaugeFunc("reach_router_replicas_healthy", "Replicas currently enrolled and serving.", nil,
+		func() float64 { return float64(len(rt.healthy(nil))) })
+	rt.met.reg.GaugeFunc("reach_router_replicas_total", "Replicas configured, healthy or not.", nil,
+		func() float64 { return float64(len(rt.replicas)) })
 	var wg sync.WaitGroup
 	for _, r := range rt.replicas {
 		wg.Add(1)
@@ -262,6 +340,7 @@ func (rt *Router) probeLoop() {
 // healthy on a fingerprint match, mismatched on a conflicting claim,
 // down (with exponential re-probe backoff) when unreachable.
 func (rt *Router) probe(r *replica) {
+	rt.met.probes.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	hz, err := r.client.Healthz(ctx)
 	cancel()
@@ -283,7 +362,10 @@ func (rt *Router) probe(r *replica) {
 		}
 		return
 	}
-	id := identity{Fingerprint: hz.Fingerprint, Method: hz.Method, Vertices: hz.Vertices}
+	id := identity{
+		Fingerprint: hz.Fingerprint, Method: hz.Method, Vertices: hz.Vertices,
+		GoVersion: hz.GoVersion, Revision: hz.Revision,
+	}
 	r.ident.Store(&id)
 	r.consecFails = 0
 	r.nextProbe = time.Now().Add(rt.cfg.ProbeInterval)
@@ -399,7 +481,9 @@ func route[T any](rt *Router, ctx context.Context, call func(context.Context, *C
 		skip[r] = true
 		r.requests.Add(1)
 		r.inflight.Add(1)
+		t0 := time.Now()
 		res, err := call(ctx, r.client)
+		r.rtt.RecordSince(t0)
 		r.inflight.Add(-1)
 		if err == nil {
 			return res, nil
@@ -465,6 +549,8 @@ func (rt *Router) Reachable(ctx context.Context, u, v uint64) (server.ReachableR
 // misaligned with its pairs is worse than none.
 func (rt *Router) Batch(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
 	rt.met.batchRequests.Add(1)
+	t0 := time.Now()
+	defer rt.met.scatterDur.RecordSince(t0)
 	n := len(pairs)
 	if n == 0 {
 		return []bool{}, nil

@@ -19,6 +19,7 @@ import (
 	reach "repro"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -42,6 +43,7 @@ type fakeReplica struct {
 
 	queries    atomic.Int64 // pairs answered (single + batch)
 	batchCalls atomic.Int64
+	lastTrace  atomic.Value // X-Reach-Trace header of the last query received
 
 	addr string
 	srv  *http.Server
@@ -100,6 +102,7 @@ func (f *fakeReplica) handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /v1/reachable", func(w http.ResponseWriter, r *http.Request) {
+		f.lastTrace.Store(r.Header.Get(obs.TraceHeader))
 		if f.delay > 0 {
 			time.Sleep(f.delay)
 		}
@@ -112,6 +115,7 @@ func (f *fakeReplica) handler() http.Handler {
 		json.NewEncoder(w).Encode(server.ReachableResponse{U: u, V: v, Reachable: f.answer(u, v)})
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		f.lastTrace.Store(r.Header.Get(obs.TraceHeader))
 		f.batchCalls.Add(1)
 		if f.delay > 0 {
 			// Shuffled completion: each sub-batch takes a random slice of

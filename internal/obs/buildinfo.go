@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: which Go built it and which VCS
+// revision it came from. Surfaced on /v1/healthz and as a build_info
+// gauge so a fleet operator can spot a replica running stale code.
+type Build struct {
+	GoVersion string
+	Revision  string // short VCS revision, "unknown" outside a VCS build
+	Modified  bool   // the working tree was dirty at build time
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo reads the binary's embedded build metadata once and caches
+// it; /v1/healthz is probed every second by fleet routers.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				buildInfo.Revision = rev
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterPprof mounts net/http/pprof's handlers on mux under
+// /debug/pprof/, for muxes that are not http.DefaultServeMux. Gated
+// behind a -pprof flag in the binaries: profiling endpoints expose
+// internals and cost CPU while sampling, so they are opt-in.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,173 @@
+// Package obs is the dependency-free observability core shared by reachd
+// and reachrouter: lock-free counters, gauges and log-linear latency
+// histograms with mergeable snapshots, a metric registry with Prometheus
+// text-format exposition, trace-ID propagation helpers, a structured
+// slow-query log, and pprof registration.
+//
+// The paper's claims are latency claims — hop labeling wins because a
+// query costs microseconds — so the serving stack must be able to say
+// where nanoseconds go without distorting them. Everything on the hot
+// path here is allocation-free and a handful of uncontended atomics.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear (HDR-style): values below 2^subBits get
+// one bucket each (exact); above that, every power-of-two octave splits
+// into 2^subBits linear sub-buckets, so any recorded value lands in a
+// bucket whose width is at most value/2^subBits — a guaranteed relative
+// quantile error of 1/32 with subBits=5, over the full int64 range,
+// from a fixed 1888-slot array. No allocation, no locking, no dynamic
+// resizing: Record is three uncontended atomic ops.
+const (
+	subBits    = 5
+	subCount   = 1 << subBits
+	subMask    = subCount - 1
+	numBuckets = (64 - subBits) << subBits
+)
+
+// Histogram is a concurrent log-linear histogram of int64 values
+// (conventionally nanoseconds). The zero value is NOT usable on its own
+// only because histograms are meant to live in a Registry; structurally
+// the zero value is ready to Record into.
+type Histogram struct {
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // v ∈ [2^exp, 2^(exp+1))
+	return int(uint64(exp-subBits+1)<<subBits | (uint64(v)>>uint(exp-subBits))&subMask)
+}
+
+// bucketUpper is the largest value that maps to bucket i — the bucket's
+// inclusive upper edge, used for quantiles and exposition bounds.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	exp := i>>subBits + subBits - 1
+	return (int64(subCount+i&subMask)+1)<<uint(exp-subBits) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero. It is
+// safe for any number of concurrent callers and never allocates.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// RecordSince records the time elapsed since t and returns it, so call
+// sites can time a stage and keep the measured value in one expression.
+func (h *Histogram) RecordSince(t time.Time) time.Duration {
+	d := time.Since(t)
+	h.Record(int64(d))
+	return d
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, safe to read,
+// merge and quantile without further coordination.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []int64 // len numBuckets, same indexing as the live histogram
+}
+
+// Snapshot copies the histogram's state. Concurrent Records during the
+// copy may land in either the snapshot or the next one — each bucket is
+// read atomically, so the snapshot is always internally consistent
+// enough for monitoring (counts never tear).
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]int64, numBuckets),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets[i] = n
+			s.Count += n
+		}
+	}
+	return s
+}
+
+// Merge folds other into s. Snapshots from different histograms (or
+// different processes, decoded from exposition) merge exactly: buckets
+// add, max takes the larger.
+func (s *HistSnapshot) Merge(other *HistSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	for i, n := range other.Buckets {
+		s.Buckets[i] += n
+	}
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1]: an upper bound on
+// the q-th smallest recorded value, within a relative error of
+// 1/2^subBits (exact below 2^subBits). q ≥ 1 returns the exact maximum;
+// an empty snapshot returns 0.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	// Rank of the target observation, 1-based: ceil(q * count), at least 1.
+	rank := int64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > s.Max {
+				return s.Max // the top occupied bucket can't exceed the exact max
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average recorded value, 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

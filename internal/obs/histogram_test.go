@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the reference implementation the histogram is checked
+// against: sort everything and index — exact, unmergeable, O(n) memory.
+func refQuantile(sorted []int64, q float64) int64 {
+	rank := int64(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) || rank == 0 {
+		rank++
+	}
+	return sorted[rank-1]
+}
+
+// maxRelErr is the histogram's guaranteed relative quantile error: one
+// part in 2^subBits (bucket width / bucket value).
+const maxRelErr = 1.0 / subCount
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Exhaustive near the linear/log seam, then randomized over the range.
+	check := func(v int64) {
+		t.Helper()
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if u := bucketUpper(i); v > u {
+			t.Fatalf("value %d above its bucket %d upper edge %d", v, i, u)
+		}
+		if i > 0 {
+			if lowEdge := bucketUpper(i - 1); v <= lowEdge {
+				t.Fatalf("value %d at or below previous bucket's upper edge %d (bucket %d)", v, lowEdge, i)
+			}
+		}
+	}
+	for v := int64(0); v < 4*subCount; v++ {
+		check(v)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100000; i++ {
+		check(int64(rng.Uint64() >> 1))
+	}
+	check(math.MaxInt64)
+	// Every bucket's upper edge must map back to that bucket, and the
+	// next value to the next bucket.
+	for i := 0; i < numBuckets; i++ {
+		u := bucketUpper(i)
+		if got := bucketIndex(u); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, u, got)
+		}
+		if u < math.MaxInt64 && i+1 < numBuckets {
+			if got := bucketIndex(u + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", u+1, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantilesVsReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(rng *rand.Rand, i int) int64
+	}{
+		{"uniform_wide", func(rng *rand.Rand, _ int) int64 { return int64(rng.Uint64N(50_000_000)) }},
+		{"lognormal_latency", func(rng *rand.Rand, _ int) int64 {
+			return int64(1000 * math.Exp(rng.NormFloat64()*1.5+3))
+		}},
+		{"bimodal_cache", func(rng *rand.Rand, i int) int64 {
+			if i%10 < 9 {
+				return 80 + int64(rng.Uint64N(40)) // cache hit ~100ns
+			}
+			return 900_000 + int64(rng.Uint64N(400_000)) // miss ~1ms
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(7, 11))
+			h := &Histogram{}
+			vals := make([]int64, 50000)
+			for i := range vals {
+				v := tc.gen(rng, i)
+				vals[i] = v
+				h.Record(v)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			snap := h.Snapshot()
+			if snap.Count != int64(len(vals)) {
+				t.Fatalf("count %d, want %d", snap.Count, len(vals))
+			}
+			if snap.Max != vals[len(vals)-1] {
+				t.Fatalf("max %d, want exact %d", snap.Max, vals[len(vals)-1])
+			}
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			if snap.Sum != sum {
+				t.Fatalf("sum %d, want %d", snap.Sum, sum)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+				got := snap.Quantile(q)
+				ref := refQuantile(vals, q)
+				if got < ref {
+					t.Fatalf("q%g: histogram %d below reference %d — quantile must be an upper bound", q*100, got, ref)
+				}
+				if ref > 0 && float64(got-ref)/float64(ref) > maxRelErr {
+					t.Fatalf("q%g: histogram %d vs reference %d exceeds relative error %g",
+						q*100, got, ref, maxRelErr)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramLinearRegionExact(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(0); v < subCount; v++ {
+		h.Record(v)
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0.25, 0.5, 0.75, 1.0} {
+		vals := make([]int64, subCount)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		if got, ref := snap.Quantile(q), refQuantile(vals, q); got != ref {
+			t.Fatalf("q%g: %d, want exact %d below 2^subBits", q*100, got, ref)
+		}
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	// Merging two snapshots must equal one histogram fed both streams —
+	// bucket for bucket, not just approximately.
+	rng := rand.New(rand.NewPCG(3, 5))
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Uint64N(1e9))
+		both.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged count/sum/max = %d/%d/%d, want %d/%d/%d",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, combined %d", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+func TestHistogramNegativeClampsAndEmpty(t *testing.T) {
+	h := &Histogram{}
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+	h.Record(-5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Buckets[0] != 1 || snap.Sum != 0 {
+		t.Fatalf("negative record: count=%d bucket0=%d sum=%d, want 1/1/0",
+			snap.Count, snap.Buckets[0], snap.Sum)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := &Histogram{}
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 99))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Uint64N(1e7)))
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("concurrent count %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRecordSinceAndDuration(t *testing.T) {
+	h := &Histogram{}
+	h.RecordDuration(3 * time.Millisecond)
+	d := h.RecordSince(time.Now().Add(-2 * time.Millisecond))
+	if d < 2*time.Millisecond {
+		t.Fatalf("RecordSince returned %v, want ≥ 2ms", d)
+	}
+	if got := h.Snapshot().Count; got != 2 {
+		t.Fatalf("count %d, want 2", got)
+	}
+}
+
+// BenchmarkHistogramRecord is the instrumentation-overhead gate: the
+// serving layer records several histogram points per query, so Record
+// must stay allocation-free and well under 50 ns.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) & 0xFFFFF)
+	}
+}
+
+func BenchmarkHistogramSnapshotQuantile(b *testing.B) {
+	h := &Histogram{}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(rng.Uint64N(1e9)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := h.Snapshot()
+		_ = snap.Quantile(0.99)
+	}
+}

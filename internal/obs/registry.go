@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. Use Registry.Counter for
+// a fresh one, or Registry.CounterFunc to expose an atomic the caller
+// already maintains.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Labels name one series of a metric family, e.g.
+// Labels{"endpoint": "batch"}. Rendered sorted by key so exposition is
+// deterministic.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus label-value escaping rules.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// exportBounds are the `le` bucket edges (in seconds) that histograms
+// expose. The fine log-linear buckets are coarsened onto these at scrape
+// time: every fine bucket's count is attributed to the first bound not
+// below its upper edge, so cumulative counts stay exact ("N observations
+// ≤ le" never undercounts against the fine data). Spanning 100 ns to
+// 10 s covers a cache hit through a timed-out request.
+var exportBounds = []float64{
+	100e-9, 250e-9, 500e-9,
+	1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+type series struct {
+	labels  string // pre-rendered {k="v",...} or ""
+	hist    *Histogram
+	counter func() int64
+	gauge   func() float64
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds one process's metric families and serves them in
+// Prometheus text format. Create with NewRegistry; registration is
+// cheap and typically happens once at startup. Metric families keep
+// registration order; series within a family keep theirs.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	f.series = append(f.series, s)
+}
+
+// Histogram registers (or extends) a histogram family and returns the
+// live histogram for this label set. Values are recorded in nanoseconds
+// and exposed in seconds, per Prometheus convention for _seconds
+// metrics.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	h := &Histogram{}
+	r.add(name, help, "histogram", &series{labels: labels.render(), hist: h})
+	return h
+}
+
+// Counter registers a fresh counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, help, labels, c.Value)
+	return c
+}
+
+// CounterFunc exposes an existing monotonically-increasing value — the
+// serving layers already keep lock-free atomic counters, and exposing
+// them through a closure beats double bookkeeping on the hot path.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	r.add(name, help, "counter", &series{labels: labels.render(), counter: fn})
+}
+
+// GaugeFunc exposes a value that can go up and down (queue depths,
+// uptime, cache occupancy), sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, "gauge", &series{labels: labels.render(), gauge: fn})
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter())
+			case s.gauge != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge()))
+			case s.hist != nil:
+				writeHistogram(w, f.name, s.labels, s.hist.Snapshot())
+			}
+		}
+	}
+}
+
+// writeHistogram coarsens a snapshot onto exportBounds and emits the
+// cumulative _bucket series plus _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, snap *HistSnapshot) {
+	perBound := make([]int64, len(exportBounds)+1) // +1 for +Inf
+	for i, n := range snap.Buckets {
+		if n == 0 {
+			continue
+		}
+		upper := float64(bucketUpper(i)) / 1e9
+		b := sort.SearchFloat64s(exportBounds, upper)
+		perBound[b] += n
+	}
+	var cum int64
+	for b, bound := range exportBounds {
+		cum += perBound[b]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, histLabels(labels, formatFloat(bound)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, histLabels(labels, "+Inf"), snap.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(snap.Sum)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// histLabels splices the le label into an already-rendered label set.
+func histLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves GET /metrics scrapes of this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.CounterFunc("reach_queries_total", "Pair queries answered.", nil, func() int64 { return 1234 })
+	c := reg.Counter("reach_rejected_total", "Requests shed by the admission gate.", nil)
+	c.Add(7)
+	reg.GaugeFunc("reach_in_flight", "Currently served query requests.", nil, func() float64 { return 3 })
+	reg.GaugeFunc("reach_build_info", "Build metadata as labels, value fixed at 1.",
+		Labels{"go_version": "go1.24.0", "revision": "deadbeefcafe"}, func() float64 { return 1 })
+	h := reg.Histogram("reach_http_request_seconds", "End-to-end request latency.",
+		Labels{"endpoint": "batch"})
+	for _, d := range []time.Duration{
+		120 * time.Nanosecond, 900 * time.Nanosecond, 4 * time.Microsecond,
+		75 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond,
+		2 * time.Millisecond, 40 * time.Millisecond, 1200 * time.Millisecond,
+	} {
+		h.RecordDuration(d)
+	}
+	// A second series of the same family, and an empty histogram: both
+	// must render (empty series still advertise their existence).
+	reg.Histogram("reach_http_request_seconds", "End-to-end request latency.",
+		Labels{"endpoint": "reachable"})
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// Every non-comment line must be `name value` or `name{k="v",...} value`
+// — the grammar Prometheus scrapers require.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+0-9.eE]+(e[-+]?[0-9]+)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? \+Inf$`)
+
+func TestWritePrometheusIsWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	sawHelp, sawType, sawBucket, sawInf := false, false, false, false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# HELP") {
+			sawHelp = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			sawType = true
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if strings.Contains(line, "_bucket{") {
+			sawBucket = true
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+		}
+	}
+	if !sawHelp || !sawType || !sawBucket || !sawInf {
+		t.Fatalf("exposition missing required elements: HELP=%v TYPE=%v bucket=%v +Inf=%v",
+			sawHelp, sawType, sawBucket, sawInf)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	scraped, err := ParseHistogram(bytes.NewReader(buf.Bytes()),
+		"reach_http_request_seconds", Labels{"endpoint": "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for i, c := range scraped.Cum {
+		if c < prev {
+			t.Fatalf("bucket %d count %d below previous %d — buckets must be cumulative", i, c, prev)
+		}
+		prev = c
+	}
+	if scraped.Cum[len(scraped.Cum)-1] != scraped.Count {
+		t.Fatalf("+Inf bucket %d != count %d", scraped.Cum[len(scraped.Cum)-1], scraped.Count)
+	}
+	if scraped.Count != 9 {
+		t.Fatalf("count %d, want the 9 recorded observations", scraped.Count)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := goldenRegistry()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "reach_queries_total 1234") {
+		t.Fatalf("scrape missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("weird", "h", Labels{"path": "a\"b\\c\nd"}, func() float64 { return 1 })
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `path="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", buf.String())
+	}
+	// And the scraper must invert it.
+	_, labels, _, ok := parseLine(`weird{path="a\"b\\c\nd"} 1`)
+	if !ok || labels["path"] != "a\"b\\c\nd" {
+		t.Fatalf("parseLine round-trip: ok=%v labels=%q", ok, labels["path"])
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapedHist is a histogram reconstructed from Prometheus text
+// exposition — what reachbench reads back from /metrics to put
+// server-side quantiles next to its own client-side ones. Counts are
+// cumulative per bound, exactly as exposed.
+type ScrapedHist struct {
+	Bounds []float64 // ascending upper edges in seconds; +Inf last
+	Cum    []int64   // cumulative count of observations ≤ Bounds[i]
+	Count  int64
+	Sum    float64 // seconds
+}
+
+// ParseHistogram extracts the histogram series of metric whose labels
+// include match (subset match, so {endpoint="batch"} finds the series
+// regardless of other labels). Returns an error when no _bucket line of
+// the metric matches.
+func ParseHistogram(r io.Reader, metric string, match Labels) (*ScrapedHist, error) {
+	h := &ScrapedHist{}
+	type bound struct {
+		le  float64
+		cum int64
+	}
+	var bounds []bound
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseLine(line)
+		if !ok || !strings.HasPrefix(name, metric) {
+			continue
+		}
+		if !labelsMatch(labels, match) {
+			continue
+		}
+		switch name[len(metric):] {
+		case "_bucket":
+			le, err := parseLe(labels["le"])
+			if err != nil {
+				continue
+			}
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			bounds = append(bounds, bound{le: le, cum: n})
+		case "_sum":
+			h.Sum, _ = strconv.ParseFloat(value, 64)
+		case "_count":
+			h.Count, _ = strconv.ParseInt(value, 10, 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("no %s_bucket series matching %v in scrape", metric, match)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+	for _, b := range bounds {
+		h.Bounds = append(h.Bounds, b.le)
+		h.Cum = append(h.Cum, b.cum)
+	}
+	return h, nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLine splits `name{k="v",...} value` (labels optional).
+func parseLine(line string) (name string, labels Labels, value string, ok bool) {
+	labels = Labels{}
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, "", false
+		}
+		return line[:sp], labels, strings.TrimSpace(line[sp+1:]), true
+	}
+	name = line[:brace]
+	i := brace + 1
+	for i < len(line) && line[i] != '}' {
+		eq := strings.IndexByte(line[i:], '=')
+		if eq < 0 {
+			return "", nil, "", false
+		}
+		key := strings.TrimSpace(line[i : i+eq])
+		i += eq + 1
+		if i >= len(line) || line[i] != '"' {
+			return "", nil, "", false
+		}
+		i++
+		var val strings.Builder
+		for i < len(line) && line[i] != '"' {
+			c := line[i]
+			if c == '\\' && i+1 < len(line) {
+				i++
+				switch line[i] {
+				case 'n':
+					c = '\n'
+				default:
+					c = line[i]
+				}
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(line) {
+			return "", nil, "", false
+		}
+		i++ // closing quote
+		labels[key] = val.String()
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+	if i >= len(line) {
+		return "", nil, "", false
+	}
+	return name, labels, strings.TrimSpace(line[i+1:]), true
+}
+
+func labelsMatch(have, want Labels) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub subtracts an earlier scrape of the same series, leaving the
+// histogram of just the interval between the two — how reachbench
+// isolates one run's server-side latency from the daemon's lifetime
+// counters. Mismatched bounds (a different server version) return an
+// error rather than nonsense.
+func (h *ScrapedHist) Sub(prev *ScrapedHist) error {
+	if len(prev.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("scrape bound mismatch: %d vs %d buckets", len(h.Bounds), len(prev.Bounds))
+	}
+	for i := range h.Cum {
+		if h.Bounds[i] != prev.Bounds[i] {
+			return fmt.Errorf("scrape bound mismatch at %d: %g vs %g", i, h.Bounds[i], prev.Bounds[i])
+		}
+		h.Cum[i] -= prev.Cum[i]
+	}
+	h.Count -= prev.Count
+	h.Sum -= prev.Sum
+	return nil
+}
+
+// Quantile returns the q-th quantile in seconds: the upper bound of the
+// bucket holding the target rank (the bound below +Inf caps the answer,
+// since +Inf carries no magnitude).
+func (h *ScrapedHist) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) || rank == 0 {
+		rank++
+	}
+	for i, c := range h.Cum {
+		if c >= rank {
+			if math.IsInf(h.Bounds[i], 1) && i > 0 {
+				return h.Bounds[i-1]
+			}
+			return h.Bounds[i]
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog emits one JSON line per request that outlived a threshold —
+// the outlier forensics channel. Histograms say *that* p99 moved; the
+// slow-query log says *which* requests moved it, with their trace IDs
+// and per-stage timings, greppable and machine-parseable.
+//
+// A nil *SlowLog is valid and disabled, so call sites never branch on
+// configuration.
+type SlowLog struct {
+	threshold time.Duration
+	emitted   atomic.Int64
+
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// NewSlowLog logs requests slower than threshold to w as JSON lines.
+// Returns nil (disabled) when threshold is zero/negative or w is nil.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, w: w, enc: json.NewEncoder(w)}
+}
+
+// Slow reports whether a request of duration d should be logged.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+// Emit writes one record as a JSON line. Callers gate with Slow first;
+// Emit on a nil or disabled log is a no-op. Encoding happens under a
+// mutex so concurrent slow requests never interleave bytes.
+func (l *SlowLog) Emit(record any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	err := l.enc.Encode(record)
+	l.mu.Unlock()
+	if err == nil {
+		l.emitted.Add(1)
+	}
+}
+
+// Emitted returns how many records were successfully written, exposed
+// as a counter so a scrape can tell the log is actually flowing.
+func (l *SlowLog) Emitted() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.emitted.Load()
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace propagation headers. The router stamps every request with a
+// trace ID; replicas echo it back and attach a Server-Timing-style
+// per-stage breakdown, so one slow answer can be followed from the
+// client through the router to the replica stage that cost the time.
+const (
+	// TraceHeader carries the request's trace ID end to end.
+	TraceHeader = "X-Reach-Trace"
+	// ServerTimingHeader carries the per-stage latency breakdown in
+	// Server-Timing syntax: `stage;dur=1.234` (milliseconds), comma-
+	// separated, in execution order.
+	ServerTimingHeader = "X-Reach-Server-Timing"
+)
+
+// NewTraceID returns a 16-hex-char random trace ID. math/rand/v2's
+// top-level generator is per-thread and seeded from the OS, which is
+// plenty for correlating log lines — this is not a security token.
+func NewTraceID() string {
+	var b [8]byte
+	v := rand.Uint64()
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureTrace extracts the request's trace ID, minting one if the
+// client did not send one, and echoes it on the response so the caller
+// can correlate. Returns the ID.
+func EnsureTrace(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(TraceHeader)
+	if id == "" {
+		id = NewTraceID()
+	}
+	w.Header().Set(TraceHeader, id)
+	return id
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace ID to ctx for downstream clients to
+// forward.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom returns the trace ID attached to ctx, or "".
+func TraceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// Stage is one named timing in a Server-Timing breakdown.
+type Stage struct {
+	Name string
+	D    time.Duration
+}
+
+// FormatServerTiming renders stages as Server-Timing syntax:
+// `parse;dur=0.041, query;dur=1.234`. Durations are milliseconds with
+// microsecond precision — the resolution that matters for a
+// microsecond-query oracle.
+func FormatServerTiming(stages []Stage) string {
+	var b strings.Builder
+	for i, s := range stages {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Name)
+		b.WriteString(";dur=")
+		b.WriteString(strconv.FormatFloat(float64(s.D)/1e6, 'f', 3, 64))
+	}
+	return b.String()
+}

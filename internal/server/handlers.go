@@ -9,14 +9,92 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// reqTrace is the per-request observability context: trace ID, start
+// time, and the stage accumulator the query path fills in.
+type reqTrace struct {
+	id    string
+	start time.Time
+	qt    queryTrace
+	// decode and resolve are single-goroutine stages recorded directly.
+	decode, resolve time.Duration
+}
+
+// startTrace stamps the response with the request's trace ID (minting
+// one when the client sent none) and starts the request clock.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *reqTrace {
+	return &reqTrace{id: obs.EnsureTrace(w, r), start: time.Now()}
+}
+
+// finishTrace closes out a query request: sets the Server-Timing
+// breakdown header (before the body is written), records the request
+// histogram, and emits a slow-query record when the total crosses the
+// configured threshold. pairs/status describe the request's outcome.
+func (s *Server) finishTrace(w http.ResponseWriter, tr *reqTrace, hist *obs.Histogram, endpoint string, pairs int, status int) {
+	total := time.Since(tr.start)
+	cacheNs := tr.qt.cacheNs.Load()
+	probeNs := tr.qt.probeNs.Load()
+	stages := make([]obs.Stage, 0, 4)
+	if tr.decode > 0 {
+		stages = append(stages, obs.Stage{Name: "decode", D: tr.decode})
+	}
+	if tr.resolve > 0 {
+		stages = append(stages, obs.Stage{Name: "resolve", D: tr.resolve})
+	}
+	stages = append(stages,
+		obs.Stage{Name: "cache", D: time.Duration(cacheNs)},
+		obs.Stage{Name: "probe", D: time.Duration(probeNs)},
+		obs.Stage{Name: "total", D: total},
+	)
+	w.Header().Set(obs.ServerTimingHeader, obs.FormatServerTiming(stages))
+	hist.RecordDuration(total)
+	if s.met.slow.Slow(total) {
+		rec := SlowQueryRecord{
+			Time:       time.Now().UTC().Format(time.RFC3339Nano),
+			Trace:      tr.id,
+			Endpoint:   endpoint,
+			Status:     status,
+			DurationMS: float64(total) / 1e6,
+			Pairs:      pairs,
+			CacheHits:  tr.qt.cacheHits.Load(),
+			StagesMS: map[string]float64{
+				"decode":  float64(tr.decode) / 1e6,
+				"resolve": float64(tr.resolve) / 1e6,
+				"cache":   float64(cacheNs) / 1e6,
+				"probe":   float64(probeNs) / 1e6,
+			},
+		}
+		s.met.slow.Emit(rec)
+	}
+}
+
+// SlowQueryRecord is one line of the slow-query log: everything needed
+// to chase an outlier after the fact — when, which trace, how slow,
+// how big, and where inside the server the time went.
+type SlowQueryRecord struct {
+	Time       string             `json:"time"`
+	Trace      string             `json:"trace"`
+	Endpoint   string             `json:"endpoint"`
+	Status     int                `json:"status"`
+	DurationMS float64            `json:"duration_ms"`
+	Pairs      int                `json:"pairs"`
+	CacheHits  int64              `json:"cache_hits"`
+	StagesMS   map[string]float64 `json:"stages_ms"`
+}
 
 // Handler returns the HTTP mux serving the v1 API:
 //
-//	GET  /v1/healthz                liveness probe
+//	GET  /v1/healthz                liveness probe + serving identity + build info
 //	GET  /v1/reachable?u=U&v=V      one query
 //	POST /v1/batch                  {"pairs": [[u,v], ...]}
 //	GET  /v1/stats                  graph + index + cache + server counters
+//	GET  /metrics                   Prometheus text-format exposition
+//
+// With Config.EnablePprof, net/http/pprof is mounted under
+// /debug/pprof/ as well.
 //
 // Vertex IDs are dense [0, vertices) IDs by default; with Config.OrigIDs
 // set (as reachd does) they are the caller's original edge-list IDs.
@@ -24,14 +102,22 @@ import (
 // The query endpoints sit behind the overload guard: with MaxInFlight
 // set, excess concurrent requests get an immediate 429 with Retry-After;
 // with RequestTimeout set, requests that outlive their deadline get 503.
-// /v1/healthz and /v1/stats bypass the guard so monitoring keeps working
-// while the server sheds query load.
+// /v1/healthz, /v1/stats and /metrics bypass the guard so monitoring
+// keeps working while the server sheds query load.
+//
+// Every query response echoes the request's X-Reach-Trace ID (minting
+// one when absent) and carries an X-Reach-Server-Timing header with the
+// per-stage latency breakdown.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/reachable", s.guard(s.handleReachable))
 	mux.HandleFunc("POST /v1/batch", s.guard(s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
+	if s.cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
 }
 
@@ -127,44 +213,62 @@ func (s *Server) failUnknownVertex(w http.ResponseWriter, bad uint64) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	bi := obs.BuildInfo()
 	s.writeJSON(w, http.StatusOK, HealthzResponse{
-		Status:      "ok",
-		Method:      s.oracle.Method(),
-		Vertices:    s.g.NumVertices(),
-		Fingerprint: s.fingerprint,
-		Source:      indexSource(s.oracle),
+		Status:        "ok",
+		Method:        s.oracle.Method(),
+		Vertices:      s.g.NumVertices(),
+		Fingerprint:   s.fingerprint,
+		Source:        indexSource(s.oracle),
+		GoVersion:     bi.GoVersion,
+		Revision:      bi.Revision,
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
 	})
 }
 
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, r)
+	// done closes out the trace (Server-Timing header, request
+	// histogram, slow-query log) and must run before any body write.
+	done := func(status int) { s.finishTrace(w, tr, s.met.reqReachable, "reachable", 1, status) }
 	q := r.URL.Query()
 	u, errU := strconv.ParseUint(q.Get("u"), 10, 64)
 	v, errV := strconv.ParseUint(q.Get("v"), 10, 64)
 	if errU != nil || errV != nil {
+		done(http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "u and v must be non-negative integer query parameters")
 		return
 	}
+	t0 := time.Now()
 	du, okU := s.resolve(u)
 	dv, okV := s.resolve(v)
+	tr.resolve = time.Since(t0)
 	if !okU || !okV {
 		bad := u
 		if okU {
 			bad = v
 		}
+		done(http.StatusBadRequest)
 		s.failUnknownVertex(w, bad)
 		return
 	}
 	if err := r.Context().Err(); err != nil {
+		done(http.StatusServiceUnavailable)
 		s.failTimeout(w, err)
 		return
 	}
-	ans, cached := s.Reachable(du, dv)
+	var cs chunkStats
+	ans, cached := s.reachable(du, dv, &cs)
+	tr.qt.add(&cs)
+	done(http.StatusOK)
 	s.writeJSON(w, http.StatusOK, ReachableResponse{
 		U: u, V: v, Reachable: ans, Cached: cached,
 	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, r)
+	done := func(pairs, status int) { s.finishTrace(w, tr, s.met.reqBatch, "batch", pairs, status) }
 	// Cap body bytes before decoding so MaxBatchPairs bounds memory, not
 	// just the decoded pair count. Worst case a compactly-encoded pair of
 	// two 20-digit uint64 IDs plus JSON punctuation costs ~46 bytes; 48
@@ -175,9 +279,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	tr.decode = time.Since(tr.start)
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			done(0, http.StatusRequestEntityTooLarge)
 			s.fail(w, http.StatusRequestEntityTooLarge,
 				"batch body exceeds %d bytes", tooLarge.Limit)
 			return
@@ -187,17 +294,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// The socket deadline can fire a hair before the context's, so
 		// classify the i/o timeout itself too.
 		if errors.Is(err, os.ErrDeadlineExceeded) {
+			done(0, http.StatusServiceUnavailable)
 			s.failTimeout(w, context.DeadlineExceeded)
 			return
 		}
 		if ctxErr := r.Context().Err(); ctxErr != nil {
+			done(0, http.StatusServiceUnavailable)
 			s.failTimeout(w, ctxErr)
 			return
 		}
+		done(0, http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}
 	if len(req.Pairs) > s.cfg.MaxBatchPairs {
+		done(len(req.Pairs), http.StatusRequestEntityTooLarge)
 		s.fail(w, http.StatusRequestEntityTooLarge,
 			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatchPairs)
 		return
@@ -206,20 +317,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Shed before resolving: a deadline that expired during body decode
 	// must not pay O(pairs) ID translation just to answer 503.
 	if err := r.Context().Err(); err != nil {
+		done(len(req.Pairs), http.StatusServiceUnavailable)
 		s.failTimeout(w, err)
 		return
 	}
+	t0 := time.Now()
 	dense := make([][2]uint32, len(req.Pairs))
 	for i, p := range req.Pairs {
 		du, _ := s.resolve(p[0]) // unknown IDs become unknownVertex → false
 		dv, _ := s.resolve(p[1])
 		dense[i] = [2]uint32{du, dv}
 	}
-	results, err := s.ReachableBatch(r.Context(), dense)
+	tr.resolve = time.Since(t0)
+	results, err := s.reachableBatch(r.Context(), dense, &tr.qt)
 	if err != nil {
+		done(len(req.Pairs), http.StatusServiceUnavailable)
 		s.failTimeout(w, err)
 		return
 	}
+	done(len(req.Pairs), http.StatusOK)
 	s.writeJSON(w, http.StatusOK, BatchResponse{
 		Count:   len(req.Pairs),
 		Results: results,

@@ -3,10 +3,15 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// metrics aggregates serving counters with lock-free atomics; every
-// handler goroutine bumps them concurrently.
+// metrics aggregates serving counters with lock-free atomics and
+// per-stage latency histograms; every handler goroutine bumps them
+// concurrently. The histograms answer the question the paper's claims
+// hinge on — where do the microseconds go — stage by stage: whole
+// request, cache lookup, index probe, batch chunk dispatch.
 type metrics struct {
 	start         time.Time
 	queries       atomic.Int64 // pair-queries answered (single + batch)
@@ -16,9 +21,75 @@ type metrics struct {
 	errors        atomic.Int64 // requests rejected with 4xx/5xx
 	rejected      atomic.Int64 // 429s from the max-in-flight gate (not in errors)
 	timedOut      atomic.Int64 // requests abandoned at their deadline (also in errors)
+
+	reg *obs.Registry
+	// Request-level histograms, one per query endpoint.
+	reqReachable *obs.Histogram
+	reqBatch     *obs.Histogram
+	// Stage histograms, recorded per pair (cache/probe) or per chunk.
+	cacheDur *obs.Histogram
+	probeDur *obs.Histogram
+	chunkDur *obs.Histogram
+
+	slow *obs.SlowLog
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now(), reg: obs.NewRegistry()}
+	m.reqReachable = m.reg.Histogram("reach_http_request_seconds",
+		"End-to-end latency of query requests, from handler entry to response write.",
+		obs.Labels{"endpoint": "reachable"})
+	m.reqBatch = m.reg.Histogram("reach_http_request_seconds",
+		"End-to-end latency of query requests, from handler entry to response write.",
+		obs.Labels{"endpoint": "batch"})
+	m.cacheDur = m.reg.Histogram("reach_stage_seconds",
+		"Per-stage serving latency: cache_lookup and index_probe per pair, chunk_dispatch per batch chunk.",
+		obs.Labels{"stage": "cache_lookup"})
+	m.probeDur = m.reg.Histogram("reach_stage_seconds",
+		"Per-stage serving latency: cache_lookup and index_probe per pair, chunk_dispatch per batch chunk.",
+		obs.Labels{"stage": "index_probe"})
+	m.chunkDur = m.reg.Histogram("reach_stage_seconds",
+		"Per-stage serving latency: cache_lookup and index_probe per pair, chunk_dispatch per batch chunk.",
+		obs.Labels{"stage": "chunk_dispatch"})
+	m.reg.CounterFunc("reach_queries_total", "Pair queries answered (single and batch).", nil, m.queries.Load)
+	m.reg.CounterFunc("reach_positive_total", "Pair queries answered reachable.", nil, m.positive.Load)
+	m.reg.CounterFunc("reach_negative_total", "Pair queries answered unreachable.", nil, m.negative.Load)
+	m.reg.CounterFunc("reach_batch_requests_total", "POST /v1/batch requests accepted.", nil, m.batchRequests.Load)
+	m.reg.CounterFunc("reach_errors_total", "Requests answered 4xx/5xx.", nil, m.errors.Load)
+	m.reg.CounterFunc("reach_rejected_total", "Requests shed with 429 by the max-in-flight gate.", nil, m.rejected.Load)
+	m.reg.CounterFunc("reach_timed_out_total", "Requests abandoned at their deadline.", nil, m.timedOut.Load)
+	// m.slow is assigned after newMetrics returns; the closure (unlike a
+	// method value) picks up the final pointer at scrape time.
+	m.reg.CounterFunc("reach_slow_queries_total", "Requests recorded in the slow-query log.", nil,
+		func() int64 { return m.slow.Emitted() })
+	m.reg.GaugeFunc("reach_uptime_seconds", "Seconds since the server was created.", nil,
+		func() float64 { return time.Since(m.start).Seconds() })
+	bi := obs.BuildInfo()
+	m.reg.GaugeFunc("reach_build_info", "Build metadata carried as labels; the value is fixed at 1.",
+		obs.Labels{"go_version": bi.GoVersion, "revision": bi.Revision}, func() float64 { return 1 })
+	return m
+}
+
+// registerServer adds the gauges that need the fully-wired Server: the
+// cache, the admission gate and the index exist only after New finishes
+// its setup.
+func (m *metrics) registerServer(s *Server) {
+	if s.cache != nil {
+		m.reg.CounterFunc("reach_cache_hits_total", "Query cache hits.", nil,
+			func() int64 { return s.cache.stats().Hits })
+		m.reg.CounterFunc("reach_cache_misses_total", "Query cache misses.", nil,
+			func() int64 { return s.cache.stats().Misses })
+		m.reg.GaugeFunc("reach_cache_entries", "Entries resident in the query cache.", nil,
+			func() float64 { return float64(s.cache.stats().Entries) })
+	}
+	if s.gate != nil {
+		m.reg.GaugeFunc("reach_in_flight", "Query requests currently holding a gate slot.", nil,
+			func() float64 { return float64(len(s.gate)) })
+	}
+	m.reg.GaugeFunc("reach_index_size_ints", "Index size in integers.",
+		obs.Labels{"method": s.oracle.Method()},
+		func() float64 { return float64(s.oracle.IndexSizeInts()) })
+}
 
 // record tallies one answered pair-query.
 func (m *metrics) record(reachable bool) {
@@ -39,6 +110,7 @@ type ServerStats struct {
 	Errors        int64   `json:"errors"`
 	Rejected      int64   `json:"rejected"`
 	TimedOut      int64   `json:"timed_out"`
+	SlowQueries   int64   `json:"slow_queries"`
 	InFlight      int     `json:"in_flight"`
 	MaxInFlight   int     `json:"max_in_flight"`
 	Workers       int     `json:"workers"`
@@ -54,6 +126,7 @@ func (m *metrics) snapshot(workers, inFlight, maxInFlight int) ServerStats {
 		Errors:        m.errors.Load(),
 		Rejected:      m.rejected.Load(),
 		TimedOut:      m.timedOut.Load(),
+		SlowQueries:   m.slow.Emitted(),
 		InFlight:      inFlight,
 		MaxInFlight:   maxInFlight,
 		Workers:       workers,

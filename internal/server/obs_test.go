@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for slow-log capture.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := fixture(t, Config{})
+	// Drive known traffic: 5 single queries and one 8-pair batch.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/reachable?u=%d&v=%d", i, i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	pairs := make([][2]uint64, 8)
+	for i := range pairs {
+		pairs[i] = [2]uint64{uint64(i), uint64(i + 2)}
+	}
+	body, _ := json.Marshal(BatchRequest{Pairs: pairs})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	// One histogram per serving stage, with _bucket series.
+	for _, series := range []string{
+		`reach_http_request_seconds_bucket{endpoint="reachable",le=`,
+		`reach_http_request_seconds_bucket{endpoint="batch",le=`,
+		`reach_stage_seconds_bucket{stage="cache_lookup",le=`,
+		`reach_stage_seconds_bucket{stage="index_probe",le=`,
+		`reach_stage_seconds_bucket{stage="chunk_dispatch",le=`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("/metrics missing %s:\n%s", series, text)
+		}
+	}
+	// Histogram counts must match the traffic: 5 reachable requests, 1
+	// batch request, 13 pair-queries total.
+	for _, want := range []string{
+		`reach_http_request_seconds_count{endpoint="reachable"} 5`,
+		`reach_http_request_seconds_count{endpoint="batch"} 1`,
+		"reach_queries_total 13",
+		"reach_batch_requests_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Build info must carry the running Go version.
+	if !strings.Contains(text, `reach_build_info{go_version="`+runtime.Version()+`"`) {
+		t.Fatalf("/metrics missing build info for %s", runtime.Version())
+	}
+	// The scrape must round-trip through the shared parser.
+	h, err := obs.ParseHistogram(bytes.NewReader(raw), "reach_http_request_seconds",
+		obs.Labels{"endpoint": "reachable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 5 {
+		t.Fatalf("parsed count %d, want 5", h.Count)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("parsed p50 %g out of range", q)
+	}
+}
+
+func TestTraceEchoAndServerTiming(t *testing.T) {
+	_, _, ts := fixture(t, Config{})
+	// A client-supplied trace ID must be echoed verbatim.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/reachable?u=1&v=2", nil)
+	req.Header.Set(obs.TraceHeader, "client-supplied-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "client-supplied-id" {
+		t.Fatalf("trace echo: %q, want client-supplied-id", got)
+	}
+	st := resp.Header.Get(obs.ServerTimingHeader)
+	for _, stage := range []string{"cache;dur=", "probe;dur=", "total;dur="} {
+		if !strings.Contains(st, stage) {
+			t.Fatalf("server timing %q missing stage %s", st, stage)
+		}
+	}
+
+	// Without a client ID the server must mint one.
+	resp, err = http.Get(ts.URL + "/v1/reachable?u=1&v=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); len(got) != 16 {
+		t.Fatalf("minted trace ID %q, want 16 hex chars", got)
+	}
+
+	// Batch responses carry the decode stage too.
+	body, _ := json.Marshal(BatchRequest{Pairs: [][2]uint64{{0, 1}, {2, 3}}})
+	breq, _ := http.NewRequest("POST", ts.URL+"/v1/batch", bytes.NewReader(body))
+	breq.Header.Set(obs.TraceHeader, "batch-trace")
+	resp, err = http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "batch-trace" {
+		t.Fatalf("batch trace echo: %q", got)
+	}
+	if st := resp.Header.Get(obs.ServerTimingHeader); !strings.Contains(st, "decode;dur=") {
+		t.Fatalf("batch server timing %q missing decode stage", st)
+	}
+}
+
+func TestSlowQueryLogEmission(t *testing.T) {
+	// A 1 ns threshold makes every query "slow", standing in for an
+	// injected-latency handler without wall-clock flakiness; the
+	// injected-latency variant (a replica that really sleeps) lives in
+	// the fleet package's slow-log test.
+	var buf syncBuffer
+	_, _, ts := fixture(t, Config{
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryWriter:    &buf,
+	})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/reachable?u=3&v=4", nil)
+	req.Header.Set(obs.TraceHeader, "slow-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	body, _ := json.Marshal(BatchRequest{Pairs: [][2]uint64{{0, 1}, {2, 3}, {4, 5}}})
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var recs []SlowQueryRecord
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var rec SlowQueryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad slow-log line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d slow records, want 2:\n%s", len(recs), buf.String())
+	}
+	single, batch := recs[0], recs[1]
+	if single.Trace != "slow-trace-1" || single.Endpoint != "reachable" || single.Pairs != 1 {
+		t.Fatalf("single record: %+v", single)
+	}
+	if batch.Endpoint != "batch" || batch.Pairs != 3 || len(batch.Trace) != 16 {
+		t.Fatalf("batch record: %+v", batch)
+	}
+	for _, rec := range recs {
+		if rec.Status != http.StatusOK || rec.DurationMS <= 0 || rec.Time == "" {
+			t.Fatalf("record missing basics: %+v", rec)
+		}
+		for _, stage := range []string{"cache", "probe", "decode", "resolve"} {
+			if _, ok := rec.StagesMS[stage]; !ok {
+				t.Fatalf("record missing stage %s: %+v", stage, rec)
+			}
+		}
+	}
+
+	// A threshold far above any test-box latency must log nothing.
+	var quiet syncBuffer
+	_, _, ts2 := fixture(t, Config{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryWriter:    &quiet,
+	})
+	resp, err = http.Get(ts2.URL + "/v1/reachable?u=1&v=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if quiet.String() != "" {
+		t.Fatalf("hour-threshold log emitted: %q", quiet.String())
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	_, _, ts := fixture(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.GoVersion != runtime.Version() {
+		t.Fatalf("go_version %q, want %q", hz.GoVersion, runtime.Version())
+	}
+	if hz.Revision == "" {
+		t.Fatal("revision empty; want a VCS revision or \"unknown\"")
+	}
+	if hz.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %g, want > 0", hz.UptimeSeconds)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	_, _, off := fixture(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnablePprof: HTTP %d, want 404", resp.StatusCode)
+	}
+	_, _, on := fixture(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: HTTP %d body %q", resp.StatusCode, body[:min(len(body), 200)])
+	}
+}

@@ -14,11 +14,15 @@ package server
 
 import (
 	"context"
+	"io"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	reach "repro"
+	"repro/internal/obs"
 )
 
 // Config tunes the serving layer. The zero value picks sane defaults.
@@ -55,6 +59,18 @@ type Config struct {
 	// HTTP API and reachcli agree on what "vertex 3" means for the same
 	// edge-list file.
 	OrigIDs []int64
+	// SlowQueryThreshold turns on the slow-query log: query requests
+	// whose total handler time reaches it emit one JSON line (trace ID,
+	// pair count, cache hits, per-stage timings) to SlowQueryWriter.
+	// Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryWriter receives slow-query JSON lines (default os.Stderr
+	// when SlowQueryThreshold is set).
+	SlowQueryWriter io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// Handler mux. Off by default: profiling endpoints are an
+	// operational tool, not part of the query API.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CachePolicy == "" {
 		c.CachePolicy = PolicyS3FIFO
+	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryWriter == nil {
+		c.SlowQueryWriter = os.Stderr
 	}
 	if c.MaxInFlight > 0 && c.RequestTimeout <= 0 {
 		c.RequestTimeout = DefaultGateTimeout
@@ -129,6 +148,7 @@ func New(g *reach.Graph, oracle *reach.Oracle, cfg Config) *Server {
 		fingerprint: FingerprintString(g.Fingerprint()),
 		jobs:        make(chan func(), 4*cfg.Workers),
 	}
+	s.met.slow = obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQueryThreshold)
 	if cfg.CacheCapacity >= 0 {
 		s.cache = newCache(cfg.CachePolicy, cfg.CacheShards, cfg.CacheCapacity)
 	}
@@ -141,6 +161,7 @@ func New(g *reach.Graph, oracle *reach.Oracle, cfg Config) *Server {
 			s.denseOf[raw] = uint32(dense)
 		}
 	}
+	s.met.registerServer(s)
 	s.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -205,22 +226,60 @@ func (s *Server) resolve(raw uint64) (uint32, bool) {
 	return dense, true
 }
 
+// queryTrace accumulates one request's per-stage totals for the
+// Server-Timing response header and the slow-query log. Batch chunks
+// run on multiple workers, so the fields are atomic; each chunk adds
+// its locally-summed stage times once, not per pair.
+type queryTrace struct {
+	cacheNs   atomic.Int64
+	probeNs   atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// chunkStats is one chunk's (or one single query's) local accumulator,
+// folded into the request's queryTrace when the chunk finishes.
+type chunkStats struct {
+	cacheNs, probeNs, cacheHits int64
+}
+
+func (t *queryTrace) add(cs *chunkStats) {
+	if t == nil {
+		return
+	}
+	t.cacheNs.Add(cs.cacheNs)
+	t.probeNs.Add(cs.probeNs)
+	t.cacheHits.Add(cs.cacheHits)
+}
+
 // Reachable answers one query through the cache, reporting whether the
 // answer was a cache hit. Unknown-vertex pairs (from /v1/batch, where
 // they answer false instead of failing the batch) bypass the cache
 // entirely: their garbage keys would pollute it and evict real entries.
 func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
+	var cs chunkStats
+	return s.reachable(u, v, &cs)
+}
+
+// reachable is the per-pair hot path: cache lookup then index probe,
+// each timed into its stage histogram and summed into cs.
+func (s *Server) reachable(u, v uint32, cs *chunkStats) (reachable, cached bool) {
 	if u == unknownVertex || v == unknownVertex {
 		s.met.record(false)
 		return false, false
 	}
 	if s.cache != nil {
-		if ans, ok := s.cache.get(u, v); ok {
+		t0 := time.Now()
+		ans, ok := s.cache.get(u, v)
+		cs.cacheNs += int64(s.met.cacheDur.RecordSince(t0))
+		if ok {
+			cs.cacheHits++
 			s.met.record(ans)
 			return ans, true
 		}
 	}
+	t0 := time.Now()
 	ans := s.oracle.Reachable(u, v)
+	cs.probeNs += int64(s.met.probeDur.RecordSince(t0))
 	if s.cache != nil {
 		s.cache.put(u, v, ans)
 	}
@@ -235,13 +294,19 @@ func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
 // returns ctx's error — the partial results are discarded because the
 // caller can no longer use them.
 func (s *Server) ReachableBatch(ctx context.Context, pairs [][2]uint32) ([]bool, error) {
+	return s.reachableBatch(ctx, pairs, nil)
+}
+
+// reachableBatch is ReachableBatch with a per-request trace accumulator
+// (nil when the caller doesn't want stage attribution).
+func (s *Server) reachableBatch(ctx context.Context, pairs [][2]uint32, tr *queryTrace) ([]bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]bool, len(pairs))
 	chunk := s.cfg.BatchChunk
 	if len(pairs) <= chunk {
-		s.runChunk(pairs, out)
+		s.runChunk(pairs, out, tr)
 		return out, nil
 	}
 	var wg sync.WaitGroup
@@ -259,7 +324,7 @@ func (s *Server) ReachableBatch(ctx context.Context, pairs [][2]uint32) ([]bool,
 			if ctx.Err() != nil {
 				return // cancelled while queued
 			}
-			s.runChunk(pairs[lo:hi], out[lo:hi])
+			s.runChunk(pairs[lo:hi], out[lo:hi], tr)
 		}
 		if !s.submit(job) {
 			job() // pool saturated or shut down: run inline rather than block
@@ -272,10 +337,17 @@ func (s *Server) ReachableBatch(ctx context.Context, pairs [][2]uint32) ([]bool,
 	return out, nil
 }
 
-func (s *Server) runChunk(pairs [][2]uint32, out []bool) {
+// runChunk answers one contiguous chunk, timing the whole dispatch into
+// the chunk_dispatch stage histogram (queue wait is visible as the gap
+// between a batch's request histogram and the sum of its chunks).
+func (s *Server) runChunk(pairs [][2]uint32, out []bool, tr *queryTrace) {
+	t0 := time.Now()
+	var cs chunkStats
 	for i, p := range pairs {
-		out[i], _ = s.Reachable(p[0], p[1])
+		out[i], _ = s.reachable(p[0], p[1], &cs)
 	}
+	s.met.chunkDur.RecordSince(t0)
+	tr.add(&cs)
 }
 
 // GraphStats is the graph section of /v1/stats.

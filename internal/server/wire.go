@@ -22,6 +22,12 @@ type HealthzResponse struct {
 	// Source is "snapshot" when the index was loaded from a snapshot
 	// file, "built" when constructed at startup.
 	Source string `json:"source"`
+	// Build identity and uptime, so a fleet operator can spot a replica
+	// running stale code or one that just restarted. GoVersion and
+	// Revision come from the binary's embedded build info.
+	GoVersion     string  `json:"go_version,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
 }
 
 // ReachableResponse is the /v1/reachable payload; U and V echo the

@@ -98,4 +98,53 @@ curl -fsS "http://$ROUTER_ADDR/v1/stats" > "$WORK/stats.json"
 grep -q '"state":"down"' "$WORK/stats.json" || { echo "no replica marked down"; cat "$WORK/stats.json"; exit 1; }
 grep -q '"replicas_healthy":2' "$WORK/stats.json" || { echo "fleet not degraded to 2/3"; cat "$WORK/stats.json"; exit 1; }
 
+echo "== /metrics on the router: histogram counts must match the sweep exactly"
+curl -fsS "http://$ROUTER_ADDR/metrics" > "$WORK/router_metrics.txt"
+# 240 single queries and 1 batch went through the router; every one is a
+# histogram sample.
+grep -q 'reach_http_request_seconds_count{endpoint="reachable"} 240' "$WORK/router_metrics.txt" \
+  || { echo "router reachable histogram count != 240"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
+grep -q 'reach_http_request_seconds_count{endpoint="batch"} 1' "$WORK/router_metrics.txt" \
+  || { echo "router batch histogram count != 1"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
+grep -q 'reach_http_request_seconds_bucket{endpoint="reachable",le=' "$WORK/router_metrics.txt" \
+  || { echo "router missing request _bucket series"; exit 1; }
+grep -q 'reach_router_upstream_seconds_bucket{' "$WORK/router_metrics.txt" \
+  || { echo "router missing per-replica upstream RTT histogram"; exit 1; }
+# The kill is detected either by an in-flight request (failovers_total)
+# or by the probe loop racing ahead of the sweep — so assert the series
+# exists rather than its value.
+grep -q 'reach_router_failovers_total' "$WORK/router_metrics.txt" \
+  || { echo "router missing failover counter"; exit 1; }
+grep -q 'reach_router_replicas_healthy 2' "$WORK/router_metrics.txt" \
+  || { echo "router healthy-replica gauge != 2"; exit 1; }
+echo "   router metrics: 240 reachable + 1 batch samples, key series present"
+
+echo "== /metrics on a surviving replica: per-stage histograms must exist"
+REPLICA_METRICS="http://127.0.0.1:${REPLICA_PORTS[1]}/metrics"
+curl -fsS "$REPLICA_METRICS" > "$WORK/replica_metrics.txt"
+# Per-replica counts are load-balanced and nondeterministic; assert the
+# serving-stage series exist and the replica answered a nonzero share.
+for series in \
+  'reach_http_request_seconds_bucket{endpoint="reachable",le=' \
+  'reach_stage_seconds_bucket{stage="cache_lookup",le=' \
+  'reach_stage_seconds_bucket{stage="index_probe",le=' \
+  'reach_stage_seconds_bucket{stage="chunk_dispatch",le='; do
+  grep -q "$series" "$WORK/replica_metrics.txt" \
+    || { echo "replica missing series $series"; exit 1; }
+done
+grep -Eq 'reach_queries_total [1-9][0-9]*' "$WORK/replica_metrics.txt" \
+  || { echo "replica served no queries?"; grep reach_queries_total "$WORK/replica_metrics.txt"; exit 1; }
+echo "   replica metrics: all serving-stage histograms present"
+
+echo "== trace propagation: a client trace ID must come back from the router"
+TRACE_ID="e2e-cluster-trace-$$"
+read -r u v < "$WORK/pairs.txt"
+curl -fsS -D "$WORK/trace_headers.txt" -H "X-Reach-Trace: $TRACE_ID" \
+  "http://$ROUTER_ADDR/v1/reachable?u=$u&v=$v" > /dev/null
+grep -qi "x-reach-trace: $TRACE_ID" "$WORK/trace_headers.txt" \
+  || { echo "router did not echo the trace ID"; cat "$WORK/trace_headers.txt"; exit 1; }
+grep -qi "x-reach-server-timing: .*route;dur=" "$WORK/trace_headers.txt" \
+  || { echo "router response missing Server-Timing stages"; cat "$WORK/trace_headers.txt"; exit 1; }
+echo "   trace ID echoed with per-stage Server-Timing"
+
 echo "PASS: fleet answers == single-node answers, before and after replica death"
