@@ -13,11 +13,19 @@
 // b.ReportMetric units like pairs/sec or hit_%. Exits non-zero when no
 // benchmark line was found, so a silently-broken bench pipeline fails CI
 // rather than uploading an empty artifact.
+//
+// With -old and -new it instead compares two previously-emitted reports
+// and exits non-zero when a gated benchmark's ns/op regressed past
+// -max-regression percent — the CI perf gate (see compare.go):
+//
+//	benchjson -old BENCH_PR4.json -new BENCH_PR7.json \
+//	    -gate BenchmarkDirectBatch,BenchmarkRouterBatch -max-regression 15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -117,7 +125,64 @@ func parseBenchLine(pkg, line string) (Benchmark, bool) {
 	return b, true
 }
 
+// readReport loads a benchjson-emitted JSON report from disk.
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep, nil
+}
+
 func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline report for compare mode")
+		newPath = flag.String("new", "", "current report for compare mode")
+		gateArg = flag.String("gate", "", "comma-separated benchmark names the compare gate enforces")
+		maxPct  = flag.Float64("max-regression", 15, "largest tolerated ns/op growth in percent (compare mode)")
+	)
+	flag.Parse()
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" || *gateArg == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: compare mode needs -old, -new and -gate")
+			os.Exit(2)
+		}
+		oldRep, err := readReport(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		newRep, err := readReport(*newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var gates []string
+		for _, g := range strings.Split(*gateArg, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				gates = append(gates, g)
+			}
+		}
+		results, failed := compareReports(oldRep, newRep, gates, *maxPct)
+		for _, c := range results {
+			fmt.Println(c)
+		}
+		if failed {
+			fmt.Fprintf(os.Stderr, "benchjson: perf gate FAILED (max tolerated regression %.1f%%)\n", *maxPct)
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate OK: %d benchmarks within %.1f%%\n", len(results), *maxPct)
+		return
+	}
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

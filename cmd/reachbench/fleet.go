@@ -34,7 +34,10 @@ type localFleet struct {
 }
 
 // startLocalFleet builds the snapshot and brings up n replicas + router.
-func startLocalFleet(graphPath, snapPath, method string, n int) (*localFleet, error) {
+// noObservers strips the observer fast path from every replica (and from
+// the build), so a -no-observers run measures the pure index path — the
+// end-to-end half of the ablation story.
+func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool) (*localFleet, error) {
 	if graphPath == "" {
 		return nil, fmt.Errorf("-replicas requires -graph (the fleet needs a graph to build its snapshot from)")
 	}
@@ -67,7 +70,7 @@ func startLocalFleet(graphPath, snapPath, method string, n int) (*localFleet, er
 			return nil, err2
 		}
 		start := time.Now()
-		oracle, err2 := reach.Build(g, reach.Method(method), reach.Options{})
+		oracle, err2 := reach.Build(g, reach.Method(method), reach.Options{NoObservers: noObservers})
 		if err2 != nil {
 			return nil, err2
 		}
@@ -85,6 +88,11 @@ func startLocalFleet(graphPath, snapPath, method string, n int) (*localFleet, er
 		oracle, err := reach.Load(snap)
 		if err != nil {
 			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		if noObservers {
+			// Load rebuilds the stack when the snapshot lacks the section
+			// (e.g. a pre-existing -snapshot file), so disable explicitly.
+			oracle.DisableObservers()
 		}
 		lf.oracles = append(lf.oracles, oracle)
 		g := oracle.Graph()

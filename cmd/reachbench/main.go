@@ -53,11 +53,12 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "spawn a local fleet: snapshot built once, mmap'd N times behind an in-process router (requires -graph)")
 		fleetMeth  = flag.String("method", "DL", "index method for the -replicas fleet snapshot")
 		fleetSnap  = flag.String("snapshot", "", "snapshot path for the -replicas fleet (reused if it exists; default: temp file)")
+		noObs      = flag.Bool("no-observers", false, "disable the observer fast path on the -replicas fleet (end-to-end ablation)")
 	)
 	flag.Parse()
 
 	if *replicas > 0 {
-		lf, err := startLocalFleet(*graphFile, *fleetSnap, *fleetMeth, *replicas)
+		lf, err := startLocalFleet(*graphFile, *fleetSnap, *fleetMeth, *replicas, *noObs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: %v\n", err)
 			os.Exit(1)

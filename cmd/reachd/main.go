@@ -8,7 +8,7 @@
 //	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot g.snap]
 //	       [-workers N] [-cache-policy s3fifo] [-cache-capacity 1048576]
 //	       [-cache-shards 64] [-request-timeout 0] [-max-inflight 0]
-//	       [-slow-query-log 50ms] [-pprof]
+//	       [-slow-query-log 50ms] [-pprof] [-observers on]
 //
 // If -snapshot names an existing snapshot of the same graph and method,
 // it is memory-mapped and serving starts in milliseconds — the snapshot
@@ -73,8 +73,13 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "max concurrent query requests before answering 429 (0 = unlimited)")
 		slowTO    = flag.Duration("slow-query-log", 0, "log queries slower than this as JSON lines on stderr (0 disables)")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		observers = flag.String("observers", "on", "observer fast path in front of the index: on or off")
 	)
 	flag.Parse()
+	if *observers != "on" && *observers != "off" {
+		fmt.Fprintf(os.Stderr, "reachd: unknown -observers %q (want on or off)\n", *observers)
+		os.Exit(1)
+	}
 	if *policy != server.PolicyS3FIFO && *policy != server.PolicyFIFO {
 		fmt.Fprintf(os.Stderr, "reachd: unknown -cache-policy %q (want %s or %s)\n",
 			*policy, server.PolicyS3FIFO, server.PolicyFIFO)
@@ -88,7 +93,7 @@ func main() {
 			methodSet = true
 		}
 	})
-	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, server.Config{
+	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, *observers == "off", server.Config{
 		Workers:            *workers,
 		CachePolicy:        *policy,
 		CacheShards:        *shards,
@@ -104,7 +109,7 @@ func main() {
 	}
 }
 
-func run(graphPath, method string, methodSet bool, addr, snapshot string, cfg server.Config) error {
+func run(graphPath, method string, methodSet bool, addr, snapshot string, noObservers bool, cfg server.Config) error {
 	if graphPath == "" && snapshot == "" {
 		return fmt.Errorf("-graph or -snapshot is required")
 	}
@@ -124,7 +129,7 @@ func run(graphPath, method string, methodSet bool, addr, snapshot string, cfg se
 			g.NumVertices(), g.DAGVertices(), g.DAGEdges())
 	}
 
-	oracle, err := loadOrBuild(g, reach.Method(method), methodSet, snapshot)
+	oracle, err := loadOrBuild(g, reach.Method(method), methodSet, snapshot, noObservers)
 	if err != nil {
 		return err
 	}
@@ -192,13 +197,18 @@ func loadSnapshot(g *reach.Graph, method reach.Method, methodSet bool, path stri
 // loadOrBuild restores the oracle from an existing snapshot, or builds it
 // and saves a snapshot for the next restart. g may be nil when only a
 // snapshot was given; building then is impossible and load errors are
-// fatal rather than recoverable.
-func loadOrBuild(g *reach.Graph, method reach.Method, methodSet bool, snapshot string) (*reach.Oracle, error) {
+// fatal rather than recoverable. noObservers strips the observer fast
+// path (-observers=off) — after a load, because the snapshot may carry
+// (or trigger on-the-fly construction of) an observer section.
+func loadOrBuild(g *reach.Graph, method reach.Method, methodSet bool, snapshot string, noObservers bool) (*reach.Oracle, error) {
 	if snapshot != "" {
 		if _, err := os.Stat(snapshot); err == nil {
 			start := time.Now()
 			oracle, err := loadSnapshot(g, method, methodSet, snapshot)
 			if err == nil {
+				if noObservers {
+					oracle.DisableObservers()
+				}
 				log.Printf("index: loaded %s snapshot %s (%d ints) in %s",
 					oracle.Method(), snapshot, oracle.IndexSizeInts(), time.Since(start).Round(time.Millisecond))
 				return oracle, nil
@@ -216,7 +226,7 @@ func loadOrBuild(g *reach.Graph, method reach.Method, methodSet bool, snapshot s
 		}
 	}
 	start := time.Now()
-	oracle, err := reach.Build(g, method, reach.Options{})
+	oracle, err := reach.Build(g, method, reach.Options{NoObservers: noObservers})
 	if err != nil {
 		return nil, err
 	}

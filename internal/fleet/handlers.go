@@ -267,6 +267,10 @@ type FleetStats struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	// Summed over healthy replicas' live /v1/stats:
 	UpstreamQueries int64 `json:"upstream_queries"`
+	// UpstreamObserverHits sums the replicas' observer fast-path decides
+	// across all observer kinds — how much of the fleet's query volume
+	// never touched an index.
+	UpstreamObserverHits int64 `json:"upstream_observer_hits"`
 }
 
 // cacheAggregate mirrors the hits/misses/hit_rate keys of a replica's
@@ -348,6 +352,11 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 	for i := range out.Replicas {
 		if up := out.Replicas[i].Upstream; up != nil {
 			out.Fleet.UpstreamQueries += up.Server.Queries
+			if o := up.Index.Observers; o != nil {
+				for _, hits := range o.Hits {
+					out.Fleet.UpstreamObserverHits += hits
+				}
+			}
 			out.Cache.Hits += up.Cache.Hits
 			out.Cache.Misses += up.Cache.Misses
 			if out.Graph.DAGVertices == 0 {

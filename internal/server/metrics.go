@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/observe"
 )
 
 // metrics aggregates serving counters with lock-free atomics and
@@ -89,6 +90,22 @@ func (m *metrics) registerServer(s *Server) {
 	m.reg.GaugeFunc("reach_index_size_ints", "Index size in integers.",
 		obs.Labels{"method": s.oracle.Method()},
 		func() float64 { return float64(s.oracle.IndexSizeInts()) })
+	// One counter per observer kind, even with observers disabled: the
+	// closures read through the oracle at scrape time, so the series
+	// simply stay at 0 (and spring to life if a future oracle re-enables
+	// the stack) rather than appearing and disappearing.
+	for _, kind := range observe.Kinds() {
+		kind := kind
+		m.reg.CounterFunc("reach_observer_hits_total",
+			"Pair queries decided by the observer fast path, by observer.",
+			obs.Labels{"observer": kind.String()},
+			func() int64 {
+				if st := s.oracle.Observers(); st != nil {
+					return st.Hits(kind)
+				}
+				return 0
+			})
+	}
 }
 
 // record tallies one answered pair-query.

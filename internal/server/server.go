@@ -364,6 +364,23 @@ type IndexStats struct {
 	// Source is "snapshot" when the index was restored from a snapshot
 	// file, "built" when it was constructed from the graph at startup.
 	Source string `json:"source"`
+	// Observers describes the fast path in front of the index; nil when
+	// it is disabled (-observers=off).
+	Observers *ObserverStats `json:"observers,omitempty"`
+}
+
+// ObserverStats is the observer fast-path segment of IndexStats: what
+// the fast path costs (precompute time, resident and on-disk size) and
+// what it delivers (per-observer decided-query counts).
+type ObserverStats struct {
+	Supportive int `json:"supportive_vertices"`
+	// Source is "snapshot" when the stack was decoded from the snapshot's
+	// observer section, "built" when it was constructed from the DAG.
+	Source       string           `json:"source"`
+	PrecomputeMS float64          `json:"precompute_ms"`
+	SizeInts     int64            `json:"size_ints"`
+	SectionBytes int64            `json:"section_bytes"`
+	Hits         map[string]int64 `json:"hits"`
 }
 
 // Stats is the full /v1/stats payload.
@@ -381,6 +398,27 @@ func indexSource(o *reach.Oracle) string {
 	return "built"
 }
 
+// observerStats snapshots the oracle's observer stack for /v1/stats, or
+// returns nil when observers are disabled.
+func observerStats(o *reach.Oracle) *ObserverStats {
+	st := o.Observers()
+	if st == nil {
+		return nil
+	}
+	source := "built"
+	if st.FromSnapshot() {
+		source = "snapshot"
+	}
+	return &ObserverStats{
+		Supportive:   st.SupportiveCount(),
+		Source:       source,
+		PrecomputeMS: float64(st.PrecomputeTime().Microseconds()) / 1e3,
+		SizeInts:     st.SizeInts(),
+		SectionBytes: st.SectionBytes(),
+		Hits:         st.HitsMap(),
+	}
+}
+
 // Stats snapshots every layer's counters.
 func (s *Server) Stats() Stats {
 	var cs CacheStats
@@ -394,9 +432,10 @@ func (s *Server) Stats() Stats {
 			DAGEdges:    s.g.DAGEdges(),
 		},
 		Index: IndexStats{
-			Method:   s.oracle.Method(),
-			SizeInts: s.oracle.IndexSizeInts(),
-			Source:   indexSource(s.oracle),
+			Method:    s.oracle.Method(),
+			SizeInts:  s.oracle.IndexSizeInts(),
+			Source:    indexSource(s.oracle),
+			Observers: observerStats(s.oracle),
 		},
 		Cache:  cs,
 		Server: s.met.snapshot(s.cfg.Workers, len(s.gate), s.cfg.MaxInFlight),

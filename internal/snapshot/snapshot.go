@@ -25,6 +25,7 @@ import (
 	"repro/internal/blockio"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/observe"
 )
 
 // magic identifies the container format; the trailing byte is the
@@ -37,7 +38,10 @@ const trailer = "RSNAPend"
 
 // flag bits in the header's flags word.
 const (
-	flagOrigIDs = 1 << 0 // the container carries original vertex IDs
+	flagOrigIDs   = 1 << 0 // the container carries original vertex IDs
+	flagObservers = 1 << 1 // the container carries an observer fast-path section
+
+	knownFlags = flagOrigIDs | flagObservers
 )
 
 // Snapshot is the decoded container, minus the index payload (which is
@@ -58,6 +62,11 @@ type Snapshot struct {
 	// OrigIDs, when non-nil, maps dense original vertices to the caller's
 	// raw edge-list IDs (as reach.ReadGraph produces).
 	OrigIDs []int64
+	// Observers, when non-nil, is the precomputed observer fast-path
+	// stack (internal/observe). Optional: snapshots written without it —
+	// including every pre-observer snapshot — load fine, and the loader
+	// rebuilds the stack from the DAG instead.
+	Observers *observe.Stack
 	// Fingerprint is the DAG's structural hash as recorded at save time;
 	// it lets a daemon refuse a snapshot built from a different graph
 	// without decoding the whole payload.
@@ -81,6 +90,9 @@ func Write(w io.Writer, s *Snapshot, encodePayload func(*blockio.Writer) error) 
 	if s.OrigIDs != nil {
 		flags |= flagOrigIDs
 	}
+	if s.Observers != nil {
+		flags |= flagObservers
+	}
 	bw.Uint64(flags)
 	bw.Uint64(uint64(s.OriginalN))
 	bw.Uint64(s.Fingerprint)
@@ -88,6 +100,11 @@ func Write(w io.Writer, s *Snapshot, encodePayload func(*blockio.Writer) error) 
 	graph.EncodeCSR(bw, s.DAG)
 	if s.OrigIDs != nil {
 		bw.Int64s(s.OrigIDs)
+	}
+	if s.Observers != nil {
+		if err := observe.EncodeSection(s.Observers, bw); err != nil {
+			return fmt.Errorf("snapshot: encoding observer section: %w", err)
+		}
 	}
 	if err := bw.Err(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
@@ -159,6 +176,11 @@ func decode(r *blockio.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading flags: %w", err)
 	}
+	if unknown := flags &^ uint64(knownFlags); unknown != 0 {
+		// Unknown bits mean sections this build cannot even skip (the
+		// layout is sequential); refuse rather than misparse.
+		return nil, fmt.Errorf("snapshot: unknown flag bits %#x: written by a newer build", unknown)
+	}
 	origN, err := r.Uint64()
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading vertex count: %w", err)
@@ -191,6 +213,15 @@ func decode(r *blockio.Reader) (*Snapshot, error) {
 		}
 		if len(s.OrigIDs) != s.OriginalN {
 			return nil, fmt.Errorf("snapshot: %d original IDs for %d vertices", len(s.OrigIDs), s.OriginalN)
+		}
+	}
+	if flags&flagObservers != 0 {
+		// The section is self-validating (lengths, bounds, checksum); a
+		// corrupt section fails the whole load, same as a corrupt DAG —
+		// callers with the original graph rebuild, exactly as for any
+		// other snapshot damage.
+		if s.Observers, err = observe.DecodeSection(s.DAG, r); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
 		}
 	}
 	s.payload = r

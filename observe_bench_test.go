@@ -1,0 +1,66 @@
+// BenchmarkObserverStack is the fast-path ablation: every method's
+// per-query cost with the observer stack on vs off, same index, same
+// workload. CI runs it into the BENCH_PR*.json artifact so the
+// per-method observer win is tracked across PRs:
+//
+//	go test -run '^$' -bench BenchmarkObserverStack -benchtime 100x .
+package reach_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+var obsBenchSink int
+
+// BenchmarkObserverStack measures Oracle.Reachable for every registered
+// method with the observer fast path enabled and disabled. The index is
+// built once per method; only the observer stack differs between the two
+// sub-benchmarks, so the delta is purely the fast path.
+func BenchmarkObserverStack(b *testing.B) {
+	spec, ok := dataset.ByName("wiki")
+	if !ok {
+		b.Fatal("unknown dataset wiki")
+	}
+	raw := spec.BuildAt(25_000)
+	// A hub-structured web graph with the Equal (50% reachable) workload
+	// exercises every observer: topo intervals and degenerate exits
+	// certify the negatives, and the supportive hubs catch most of the
+	// positives — the regime the fast path is built for. Sparser graphs
+	// (Table2's bio family) shift the mix toward interval negatives.
+	wl, err := workload.Generate(raw, workload.Equal, 10_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := reach.NewGraph(raw.NumVertices(), raw.EdgeList())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range reach.Methods() {
+		m := m
+		b.Run("method="+string(m), func(b *testing.B) {
+			o, err := reach.Build(g, m, reach.Options{})
+			if err != nil {
+				b.Skipf("%s skipped: %v", m, err)
+			}
+			run := func(b *testing.B) {
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					q := i % wl.Len()
+					if o.Reachable(wl.U[q], wl.V[q]) {
+						sink++
+					}
+				}
+				obsBenchSink = sink
+			}
+			b.Run("observers=on", run)
+			// Same oracle, observer stack removed: every query falls
+			// through to the index, as before this PR.
+			o.DisableObservers()
+			b.Run("observers=off", run)
+		})
+	}
+}

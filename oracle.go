@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/blockio"
 	"repro/internal/hoplabel"
 	"repro/internal/index"
+	"repro/internal/observe"
 	"repro/internal/snapshot"
 
 	// Every index method self-registers a descriptor — builder plus
@@ -84,6 +86,12 @@ type Options struct {
 	Seed int64
 	// Traversals is GRAIL's interval count k (default 5).
 	Traversals int
+	// NoObservers disables the observer fast path (internal/observe) in
+	// front of the index — every query goes straight to the index, as
+	// before the fast path existed. For ablation benchmarks and A/B
+	// serving comparisons; unlike the fields above it is not part of the
+	// index build options and is not persisted in snapshots.
+	NoObservers bool
 }
 
 func (o Options) buildOptions() index.BuildOptions {
@@ -106,6 +114,10 @@ type Oracle struct {
 	g    *Graph
 	idx  index.Index
 	opts index.BuildOptions
+	// obs is the observer fast path consulted before the index, or nil
+	// when disabled. Atomic so DisableObservers is safe against
+	// in-flight queries.
+	obs atomic.Pointer[observe.Stack]
 	// loaded records that the index came from a snapshot rather than a
 	// build; surfaced by /v1/stats.
 	loaded bool
@@ -125,7 +137,11 @@ func Build(g *Graph, m Method, opts Options) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Oracle{g: g, idx: idx, opts: bopts}, nil
+	o := &Oracle{g: g, idx: idx, opts: bopts}
+	if !opts.NoObservers {
+		o.obs.Store(observe.Build(g.dag, observe.Config{}))
+	}
+	return o, nil
 }
 
 // Methods lists every registered method identifier, contribution methods
@@ -150,6 +166,11 @@ func (o *Oracle) Reachable(u, v uint32) bool {
 	cu, cv := o.g.comp[u], o.g.comp[v]
 	if cu == cv {
 		return true // same SCC (or same vertex)
+	}
+	if st := o.obs.Load(); st != nil {
+		if verdict := st.Query(uint32(cu), uint32(cv)); verdict != observe.Unknown {
+			return verdict == observe.Positive
+		}
 	}
 	return o.idx.Reachable(uint32(cu), uint32(cv))
 }
@@ -185,6 +206,17 @@ func (o *Oracle) Graph() *Graph { return o.g }
 // Loaded reports whether the oracle was restored from a snapshot rather
 // than built.
 func (o *Oracle) Loaded() bool { return o.loaded }
+
+// Observers returns the observer fast-path stack consulted ahead of the
+// index, or nil when observers are disabled. The stack exposes its
+// per-observer hit counters and precompute cost for stats surfaces.
+func (o *Oracle) Observers() *observe.Stack { return o.obs.Load() }
+
+// DisableObservers removes the observer fast path so every query goes
+// straight to the index — the runtime half of the ablation story
+// (reachd -observers=off, reachbench -no-observers). Safe to call with
+// queries in flight; in-progress queries may still use the old stack.
+func (o *Oracle) DisableObservers() { o.obs.Store(nil) }
 
 // Close releases the snapshot file mapping backing an oracle returned by
 // Load. It is a no-op for built oracles. The oracle (and its Graph) must
@@ -229,6 +261,7 @@ func (o *Oracle) Save(w io.Writer) error {
 		Comp:        o.g.comp,
 		DAG:         o.g.dag,
 		OrigIDs:     o.g.origIDs,
+		Observers:   o.obs.Load(),
 		Fingerprint: o.g.Fingerprint(),
 	}, func(bw *blockio.Writer) error {
 		return d.Encode(o.idx, bw)
@@ -319,5 +352,14 @@ func fromSnapshot(snap *snapshot.Snapshot) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Oracle{g: g, idx: idx, opts: snap.Opts, loaded: true}, nil
+	o := &Oracle{g: g, idx: idx, opts: snap.Opts, loaded: true}
+	if snap.Observers != nil {
+		o.obs.Store(snap.Observers)
+	} else {
+		// Pre-observer snapshot (or one saved with NoObservers): build
+		// the fast path on the fly — older snapshots keep working and
+		// still get the speedup, they just pay the precompute at load.
+		o.obs.Store(observe.Build(g.dag, observe.Config{}))
+	}
+	return o, nil
 }

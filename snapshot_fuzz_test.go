@@ -9,13 +9,20 @@ import (
 // sweeps: a cyclic graph (so the condensation section is non-trivial)
 // with original IDs and the given method's payload.
 func corpusSnapshot(t testing.TB, m Method) []byte {
+	return corpusSnapshotOpts(t, m, Options{Seed: 5})
+}
+
+// corpusSnapshotOpts is corpusSnapshot with explicit build options, so
+// the corpus can carry both observer-bearing and observer-free
+// snapshots (Options.NoObservers drops the optional section entirely).
+func corpusSnapshotOpts(t testing.TB, m Method, opts Options) []byte {
 	t.Helper()
 	src := "0 1\n1 2\n2 0\n2 3\n3 4\n5 3\n4 6\n6 5\n"
 	g, _, err := ReadGraph(bytes.NewReader([]byte(src)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := Build(g, m, Options{Seed: 5})
+	o, err := Build(g, m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +67,9 @@ func FuzzLoadSnapshot(f *testing.F) {
 		flipped[len(flipped)/3] ^= 0xFF
 		f.Add(flipped)
 	}
+	// Observer-free layout (no observer section, flag bit clear): the
+	// loader's rebuild-on-the-fly path, plus mutations of it.
+	f.Add(corpusSnapshotOpts(f, MethodDL, Options{Seed: 5, NoObservers: true}))
 	f.Add([]byte{})
 	f.Add([]byte("RSNAPv2\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -101,5 +111,78 @@ func TestSnapshotCorruptionReturnsErrors(t *testing.T) {
 				tryLoad(mut)
 			}
 		}
+	}
+}
+
+// TestSnapshotObserverFallback pins the compatibility contract of the
+// optional observer section: a snapshot that carries one restores it
+// (FromSnapshot reports the decode), a snapshot without one — the
+// pre-observer format, byte-identical to what older builds wrote — still
+// loads and gets a freshly built stack, and both oracles answer every
+// query identically.
+func TestSnapshotObserverFallback(t *testing.T) {
+	withSection := corpusSnapshot(t, MethodDL)
+	without := corpusSnapshotOpts(t, MethodDL, Options{Seed: 5, NoObservers: true})
+	if len(without) >= len(withSection) {
+		t.Fatalf("observer-free snapshot (%d bytes) not smaller than observer-bearing one (%d bytes)",
+			len(without), len(withSection))
+	}
+
+	restored, err := LoadBytes(withSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := restored.Observers()
+	if st == nil {
+		t.Fatal("observer-bearing snapshot loaded without a stack")
+	}
+	if !st.FromSnapshot() {
+		t.Error("stack decoded from a snapshot section reports FromSnapshot() = false")
+	}
+	if st.SectionBytes() != int64(len(withSection)-len(without)) {
+		t.Errorf("SectionBytes() = %d, but the section occupies %d bytes on disk",
+			st.SectionBytes(), len(withSection)-len(without))
+	}
+
+	rebuilt, err := LoadBytes(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = rebuilt.Observers()
+	if st == nil {
+		t.Fatal("observer-free snapshot did not rebuild the stack on load")
+	}
+	if st.FromSnapshot() {
+		t.Error("stack rebuilt from the DAG reports FromSnapshot() = true")
+	}
+
+	n := uint32(restored.Graph().NumVertices())
+	for u := uint32(0); u < n; u++ {
+		for v := uint32(0); v < n; v++ {
+			if a, b := restored.Reachable(u, v), rebuilt.Reachable(u, v); a != b {
+				t.Fatalf("reach(%d,%d): restored section says %v, rebuilt stack says %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+// TestSnapshotUnknownFlagRejected pins forward compatibility at the
+// container level: a flags word carrying a bit this build does not know
+// (a section it cannot skip) must refuse the whole snapshot.
+func TestSnapshotUnknownFlagRejected(t *testing.T) {
+	snap := corpusSnapshot(t, MethodDL)
+	if _, err := LoadBytes(snap); err != nil {
+		t.Fatalf("pristine snapshot failed to load: %v", err)
+	}
+	// Header layout for a "DL" tag: magic block (16 bytes), tag block
+	// (16), build-options block (40) — the flags word starts at byte 72.
+	const flagsOff = 72
+	if snap[flagsOff]&0b11 == 0 {
+		t.Fatalf("byte %d does not look like the flags word (no known flag set)", flagsOff)
+	}
+	mut := bytes.Clone(snap)
+	mut[flagsOff] |= 1 << 2 // first bit beyond knownFlags
+	if _, err := LoadBytes(mut); err == nil {
+		t.Fatal("snapshot with an unknown flag bit loaded without error")
 	}
 }
