@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -108,7 +109,7 @@ func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool
 		bases = append(bases, "http://"+ln.Addr().String())
 	}
 
-	rt, err := fleet.New(fleet.Config{
+	rt, err := fleet.New(context.Background(), fleet.Config{
 		Replicas:      bases,
 		ProbeInterval: 200 * time.Millisecond,
 		Logf:          func(string, ...any) {}, // probes are noise in a bench run

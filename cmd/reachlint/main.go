@@ -1,0 +1,116 @@
+// Command reachlint runs the repository's custom static analyzers
+// (internal/lint) over the given package patterns, multichecker-style,
+// and — unless -vet=false — the stock `go vet` suite (printf,
+// copylocks, atomic, ...) alongside them.
+//
+// Usage:
+//
+//	go run ./cmd/reachlint [flags] [packages]
+//
+// With no packages, ./... is checked. Exit status is 0 when clean,
+// 1 when any analyzer reported a diagnostic (or go vet failed), and
+// 2 when the load itself failed.
+//
+// Flags:
+//
+//	-only name[,name]  run only the named custom analyzers
+//	-vet=false         skip the go vet pass
+//	-list              print the analyzer suite and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	vet := flag.Bool("vet", true, "also run `go vet` over the same patterns")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Summary())
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "reachlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reachlint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reachlint: %v\n", err)
+		os.Exit(2)
+	}
+	if prog.ModuleRoot != "" {
+		lint.ReadmePath = filepath.Join(prog.ModuleRoot, "README.md")
+	}
+
+	g := analysis.NewGlobal(prog.Fset)
+	diags, err := analysis.Run(g, prog.Packages, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reachlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(relativized(d, cwd))
+	}
+
+	failed := len(diags) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// relativized renders a diagnostic with the filename relative to the
+// working directory when it is below it — stable, shorter CI output.
+func relativized(d analysis.Diagnostic, cwd string) string {
+	if d.Pos.Filename != "" {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}

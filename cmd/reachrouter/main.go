@@ -92,15 +92,15 @@ func run(addr, replicas string, cfg fleet.Config) error {
 		}
 		cfg.Replicas = append(cfg.Replicas, r)
 	}
-	rt, err := fleet.New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt, err := fleet.New(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
 
 	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("routing over %d replicas on %s", len(cfg.Replicas), addr)

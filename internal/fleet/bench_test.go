@@ -39,7 +39,7 @@ func benchFleet(b *testing.B, n int) (*Router, *reach.Graph) {
 		bases = append(bases, ts.URL)
 	}
 	cfg := Config{Replicas: bases, Logf: func(string, ...any) {}}
-	rt, err := New(cfg)
+	rt, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

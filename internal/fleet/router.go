@@ -174,6 +174,10 @@ type Router struct {
 	cfg      Config
 	replicas []*replica
 
+	// baseCtx parents every probe context, so probes observe the
+	// caller's cancellation (shutdown) instead of running detached.
+	baseCtx context.Context
+
 	// identMu guards fleetIdent, the fleet's established serving
 	// identity: the first successfully probed replica defines it and
 	// later replicas must match its fingerprint to enroll.
@@ -250,13 +254,19 @@ func (m *routerMetrics) init() {
 // round so an immediately following query finds whatever is already up,
 // and starts the background probe loop. It does not require any replica
 // to be alive yet — a router may legitimately start before its fleet.
-func New(cfg Config) (*Router, error) {
+//
+// ctx parents every background probe: cancelling it stops in-flight
+// health checks (Close still stops the probe loop itself).
+func New(ctx context.Context, cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Replicas) == 0 {
 		return nil, errors.New("fleet: no replicas configured")
 	}
+	if ctx == nil {
+		return nil, errors.New("fleet: nil base context")
+	}
 	seen := make(map[string]bool, len(cfg.Replicas))
-	rt := &Router{cfg: cfg, stop: make(chan struct{})}
+	rt := &Router{cfg: cfg, baseCtx: ctx, stop: make(chan struct{})}
 	rt.met.init()
 	rt.met.slow = obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQueryThreshold)
 	for _, base := range cfg.Replicas {
@@ -341,7 +351,7 @@ func (rt *Router) probeLoop() {
 // down (with exponential re-probe backoff) when unreachable.
 func (rt *Router) probe(r *replica) {
 	rt.met.probes.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.ProbeTimeout)
 	hz, err := r.client.Healthz(ctx)
 	cancel()
 

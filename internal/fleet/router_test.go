@@ -163,7 +163,7 @@ func silentCfg(replicas ...string) Config {
 
 func newTestRouter(t *testing.T, cfg Config) *Router {
 	t.Helper()
-	rt, err := New(cfg)
+	rt, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

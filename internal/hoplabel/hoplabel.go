@@ -45,6 +45,8 @@ func (l *Labeling) Reachable(u, v uint32) bool {
 }
 
 // IntersectsSorted reports whether two ascending slices share an element.
+//
+//reach:hotpath
 func IntersectsSorted(a, b []uint32) bool {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

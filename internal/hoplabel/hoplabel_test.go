@@ -177,3 +177,20 @@ func TestIntersectsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIntersectsSortedZeroAlloc pins the //reach:hotpath contract
+// reachlint enforces statically: the label intersection runs per query
+// pair and must not allocate.
+func TestIntersectsSortedZeroAlloc(t *testing.T) {
+	a := []uint32{1, 5, 9, 40, 77, 120}
+	b := []uint32{2, 6, 10, 41, 78, 121}
+	c := []uint32{3, 9, 200}
+	allocs := testing.AllocsPerRun(1000, func() {
+		IntersectsSorted(a, b)
+		IntersectsSorted(a, c)
+		IntersectsSorted(nil, a)
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectsSorted allocated %v times per run; the hot path must be allocation-free", allocs)
+	}
+}

@@ -1,0 +1,165 @@
+// Package analysis is the minimal in-tree counterpart of
+// golang.org/x/tools/go/analysis: just enough framework to write typed,
+// package-at-a-time static checks and drive them from cmd/reachlint and
+// the analysistest golden runner. The vendored x/tools stack is not a
+// dependency this module carries (the repo is deliberately stdlib-only),
+// and the subset an invariant checker needs — an Analyzer with a Run
+// hook over parsed+type-checked files, positioned diagnostics, and a
+// whole-program finish pass for cross-package facts — fits in one small
+// package.
+//
+// Deviations from x/tools worth knowing about:
+//
+//   - Analyzers report through (*Pass).Reportf; there is no Diagnostic
+//     suggested-fix machinery.
+//   - Cross-package analyses (metric-name uniqueness, README drift)
+//     don't use serialized facts: every package of one run shares a
+//     *Global scratch space, and an optional Finish hook runs once after
+//     the last package to turn accumulated facts into diagnostics.
+//   - There is no pass dependency graph (Requires); every analyzer is
+//     independent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a short one-paragraph description (first line is the
+	// summary shown by `reachlint -list`).
+	Doc string
+	// Run analyzes one package. It reports findings via pass.Reportf
+	// and may stash cross-package facts in pass.Global for Finish.
+	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once per reachlint invocation after every
+	// package's Run, for checks that only make sense over the whole
+	// program (uniqueness, catalog drift). May be nil.
+	Finish func(g *Global)
+}
+
+// Pass carries one package's worth of material to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types results for Files.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Global is the run-wide shared state (never nil).
+	Global *Global
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Global.report(p.Analyzer.Name, p.Fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Global is the state shared by every pass of one reachlint run: the
+// diagnostics sink plus a scratch map where analyzers accumulate
+// cross-package facts for their Finish hook.
+type Global struct {
+	Fset *token.FileSet
+	// Facts maps "<analyzer>/<key>" to whatever the analyzer stored.
+	Facts map[string]any
+
+	diags []Diagnostic
+}
+
+// NewGlobal returns an empty run state over fset.
+func NewGlobal(fset *token.FileSet) *Global {
+	return &Global{Fset: fset, Facts: make(map[string]any)}
+}
+
+func (g *Global) report(analyzer string, pos token.Position, msg string) {
+	g.diags = append(g.diags, Diagnostic{Analyzer: analyzer, Pos: pos, Message: msg})
+}
+
+// Reportf records a Finish-time diagnostic (pos may be token.NoPos's
+// zero Position for program-level findings like a missing catalog row).
+func (g *Global) Reportf(analyzer string, pos token.Position, format string, args ...any) {
+	g.report(analyzer, pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostics returns every reported finding, sorted by position then
+// message so output is deterministic across runs and map iteration.
+func (g *Global) Diagnostics() []Diagnostic {
+	sort.Slice(g.diags, func(i, j int) bool {
+		a, b := g.diags[i], g.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return g.diags
+}
+
+// Run executes every analyzer over every package, then the Finish hooks,
+// and returns the combined diagnostics. Packages are analyzed in the
+// order given; analyzers see them one at a time (reachlint is a
+// single-process batch tool — parallelism would buy little against the
+// go list + typecheck cost and would force locking on Global).
+func Run(g *Global, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a, Fset: g.Fset, Files: pkg.Syntax,
+				Pkg: pkg.Types, TypesInfo: pkg.TypesInfo, Global: g,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(g)
+		}
+	}
+	return g.Diagnostics(), nil
+}
+
+// Package is one loaded, type-checked package (produced by
+// internal/lint/loader; defined here so analyzers and drivers share one
+// vocabulary without importing the loader).
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Summary returns the first line of an analyzer's Doc.
+func (a *Analyzer) Summary() string {
+	doc := strings.TrimSpace(a.Doc)
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return doc
+}

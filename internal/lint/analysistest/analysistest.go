@@ -1,0 +1,153 @@
+// Package analysistest is the golden-file runner for the reachlint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the in-tree framework: fixture packages live in GOPATH-style
+// trees (testdata/src/<importpath>/*.go) and annotate the lines where
+// diagnostics are expected with
+//
+//	// want `regexp`
+//
+// comments (several per line allowed, each matching one diagnostic).
+// A diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads the fixture packages under root (root/src/<pkgpath>),
+// applies the analyzer, and checks every diagnostic positioned inside
+// the fixture tree against the want comments. Diagnostics positioned
+// elsewhere (e.g. a Finish hook reporting against a README) are
+// returned for the caller to assert on.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgpaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := loader.LoadTestdata(root, pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	g := analysis.NewGlobal(prog.Fset)
+	diags, err := analysis.Run(g, prog.Packages, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog)
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	byLine := make(map[lineKey][]analysis.Diagnostic)
+	var leftover []analysis.Diagnostic
+	srcRoot := filepath.Join(root, "src")
+	for _, d := range diags {
+		if !underRoot(d.Pos.Filename, srcRoot) {
+			leftover = append(leftover, d)
+			continue
+		}
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		byLine[k] = append(byLine[k], d)
+	}
+
+	matched := make(map[lineKey][]bool)
+	for k, ds := range byLine {
+		matched[k] = make([]bool, len(ds))
+	}
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		ds := byLine[k]
+		found := false
+		for i, d := range ds {
+			if !matched[k][i] && w.re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for k, ds := range byLine {
+		for i, d := range ds {
+			if !matched[k][i] {
+				t.Errorf("%s: unexpected diagnostic: %s", k.file, d)
+			}
+		}
+	}
+	return leftover
+}
+
+func underRoot(filename, root string) bool {
+	return strings.HasPrefix(filename, root+"/") || strings.HasPrefix(filename, root+"\\")
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans the fixture files' comments for want annotations.
+func collectWants(t *testing.T, prog *loader.Program) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					ws, err := parseWant(c.Text, pos)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the expectations from one comment. Expectation
+// patterns are Go string literals — backquoted by convention, so regexp
+// metacharacters survive unescaped.
+func parseWant(text string, pos token.Position) ([]want, error) {
+	i := strings.Index(text, "want ")
+	if !strings.HasPrefix(text, "//") || i < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[i+len("want "):])
+	var wants []want
+	for rest != "" {
+		lit, err := quotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %v", text, err)
+		}
+		pattern, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %v", lit, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", pattern, err)
+		}
+		wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	return wants, nil
+}
+
+func quotedPrefix(s string) (string, error) {
+	return strconv.QuotedPrefix(s)
+}

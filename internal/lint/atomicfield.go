@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// AtomicField reports struct fields that are accessed through
+// sync/atomic somewhere and plainly somewhere else.
+//
+// The observer fast path's hit counters, the admission gate and the
+// replica lifecycle all rely on the rule "once a field is atomic, every
+// access is atomic": a single plain `f++` or `x := s.f` next to
+// atomic.AddInt64(&s.f, 1) is a data race that -race only catches when a
+// test happens to schedule it. Fields declared with the sync/atomic
+// types (atomic.Int64 etc.) are immune by construction — the methods are
+// the only access path — so this analyzer watches the older pattern:
+// plain-typed fields passed by address to sync/atomic functions. Any
+// other read or write of such a field, in any package of the run, is an
+// error. (Struct-literal initialization before the value escapes is
+// still flagged: initialize atomically-used fields by zero value or via
+// the atomic API.)
+var AtomicField = &analysis.Analyzer{
+	Name:   "atomicfield",
+	Doc:    "fields accessed via sync/atomic must never be read or written plainly",
+	Run:    runAtomicField,
+	Finish: finishAtomicField,
+}
+
+// atomicFieldFacts accumulates the two sides of the check across every
+// package of the run.
+type atomicFieldFacts struct {
+	// atomicUse maps a field's cross-package key to one position where
+	// it is used atomically.
+	atomicUse map[string]token.Position
+	// plain records every plain access of any struct field; Finish
+	// intersects it with atomicUse.
+	plain []plainAccess
+}
+
+type plainAccess struct {
+	key   string
+	pos   token.Position
+	write bool
+}
+
+const atomicFieldFactsKey = "atomicfield/facts"
+
+func atomicFacts(g *analysis.Global) *atomicFieldFacts {
+	f, ok := g.Facts[atomicFieldFactsKey].(*atomicFieldFacts)
+	if !ok {
+		f = &atomicFieldFacts{atomicUse: make(map[string]token.Position)}
+		g.Facts[atomicFieldFactsKey] = f
+	}
+	return f
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	facts := atomicFacts(pass.Global)
+
+	// Selector expressions consumed by &x.f arguments of sync/atomic
+	// calls: these are the sanctioned accesses, excluded from the plain
+	// scan below.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleePath(pass.TypesInfo, call) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := selectionField(pass.TypesInfo, sel); field != nil {
+					facts.atomicUse[fieldKey(field)] = pass.Fset.Position(sel.Pos())
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		// writes tracks selector expressions in store position
+		// (assignment LHS, ++/--) so the plain scan can say write vs read.
+		writes := make(map[ast.Expr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					writes[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(stmt.X)] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field := selectionField(pass.TypesInfo, sel)
+			if field == nil || !plainAccessible(field.Type()) {
+				return true
+			}
+			facts.plain = append(facts.plain, plainAccess{
+				key:   fieldKey(field),
+				pos:   pass.Fset.Position(sel.Pos()),
+				write: writes[sel],
+			})
+			return true
+		})
+
+		// Composite literals initialize fields without a selector:
+		// S{count: 1} (or positional) seeds an atomically-used field
+		// behind the atomic API's back.
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			st, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, elt := range lit.Elts {
+				var field *types.Var
+				pos := elt.Pos()
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+							field = obj
+						}
+					}
+				} else if i < st.NumFields() {
+					field = st.Field(i)
+				}
+				if field != nil {
+					facts.plain = append(facts.plain, plainAccess{
+						key: fieldKey(field), pos: pass.Fset.Position(pos), write: true,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// plainAccessible keeps the plain-access scan to field types the
+// sync/atomic functions operate on (fixed-width integers, uintptr,
+// pointers). Struct-typed fields — including the sync/atomic types
+// themselves, whose methods are the only way in — are path steps, not
+// word accesses, and the type system and copylocks already police them.
+func plainAccessible(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0
+	case *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func finishAtomicField(g *analysis.Global) {
+	facts := atomicFacts(g)
+	sort.Slice(facts.plain, func(i, j int) bool {
+		return facts.plain[i].pos.Offset < facts.plain[j].pos.Offset
+	})
+	for _, p := range facts.plain {
+		use, ok := facts.atomicUse[p.key]
+		if !ok {
+			continue
+		}
+		verb := "read"
+		if p.write {
+			verb = "write"
+		}
+		g.Reportf("atomicfield", p.pos,
+			"plain %s of field %s, which is accessed with sync/atomic at %s:%d — a torn or racy access",
+			verb, p.key, use.Filename, use.Line)
+	}
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow keeps request deadlines intact through the serving stack.
+//
+// PR 3 threaded context deadlines from the HTTP edge down to the
+// router probes; one context.Background() in the middle silently
+// detaches everything below it from the caller's deadline and from
+// shutdown. Inside the serving packages (internal/server and
+// internal/fleet) this analyzer enforces:
+//
+//   - no calls to context.Background or context.TODO — base contexts
+//     are injected by main, not minted mid-stack
+//   - an exported function or method that takes a context.Context
+//     takes it as the first parameter (after the receiver)
+//   - an exported function or method whose body talks to the network
+//     (calls into net or net/http) must take a context.Context, so the
+//     caller's deadline reaches the dial. ServeHTTP (the interface
+//     pins its signature; the request carries the context) and
+//     Close/Shutdown-style teardown (which must run after contexts
+//     are cancelled) are exempt.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving-stack I/O takes context.Context first; no context.Background mid-stack",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowPackages is the scope: the packages between the HTTP edge and
+// the sockets.
+var ctxFlowPackages = []string{"internal/server", "internal/fleet"}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range ctxFlowPackages {
+		if pkgIs(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s() detaches this call tree from the caller's deadline and from shutdown; accept a context instead", fn.Name())
+			}
+			return true
+		})
+	}
+
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		if !decl.Name.IsExported() || decl.Body == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		ctxAt := -1
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isContextType(sig.Params().At(i).Type()) {
+				ctxAt = i
+				break
+			}
+		}
+		if ctxAt > 0 {
+			pass.Reportf(decl.Name.Pos(),
+				"%s takes context.Context as parameter %d; context goes first", decl.Name.Name, ctxAt+1)
+		}
+		if ctxAt == -1 && !ctxFlowExempt(decl, sig) {
+			if pos, pkg := firstNetCall(pass, decl.Body); pos.IsValid() {
+				pass.Reportf(decl.Name.Pos(),
+					"exported %s calls into %s (line %d) but takes no context.Context; the caller's deadline cannot reach the I/O",
+					decl.Name.Name, pkg, pass.Fset.Position(pos).Line)
+			}
+		}
+	})
+	return nil
+}
+
+// ctxFlowExempt lists the exported shapes that legitimately do network
+// work without a caller context.
+func ctxFlowExempt(decl *ast.FuncDecl, sig *types.Signature) bool {
+	name := decl.Name.Name
+	if name == "ServeHTTP" {
+		return true // signature pinned by http.Handler; ctx rides the request
+	}
+	if name == "Close" || name == "Shutdown" || strings.HasPrefix(name, "Close") {
+		return true // teardown runs after contexts are cancelled
+	}
+	// Constructors returning an http.Handler register routes; the
+	// per-request context arrives later.
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Handler" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstNetCall returns the position and package of the first direct
+// call into net or net/http in body (excluding nested function
+// literals, which run on their own schedule).
+func firstNetCall(pass *analysis.Pass, body *ast.BlockStmt) (pos token.Pos, pkg string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch path := calleePath(pass.TypesInfo, call); path {
+		case "net", "net/http":
+			if fn := callee(pass.TypesInfo, call); fn != nil && netCallDoesIO(fn.Name()) {
+				pos, pkg = call.Pos(), path
+				return false
+			}
+		}
+		return true
+	})
+	return pos, pkg
+}
+
+// netCallDoesIO filters the net/http surface down to calls that hit
+// the wire (or block on it); pure constructors and parsers are fine
+// without a context.
+func netCallDoesIO(name string) bool {
+	switch name {
+	case "Get", "Post", "PostForm", "Head", "Do", "Dial", "DialTimeout",
+		"Listen", "ListenPacket", "ListenAndServe", "ListenAndServeTLS",
+		"Serve", "ServeTLS", "LookupHost", "LookupIP", "LookupAddr":
+		return true
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

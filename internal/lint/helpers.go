@@ -1,0 +1,129 @@
+// Package lint is the reachlint analyzer suite: custom static checks
+// that machine-enforce the invariants this repository's serving stack
+// depends on but the compiler cannot see — atomic fields never touched
+// plainly, hot paths that never allocate, codecs that only marshal
+// fixed-width integers, metric names that match the README catalog, and
+// context plumbing that keeps request deadlines intact.
+//
+// Each analyzer documents its rules in its Doc string; run
+// `go run ./cmd/reachlint -list` for the overview, and see the README's
+// "Static analysis" section for the annotation conventions
+// (//reach:hotpath, //reach:wire).
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// callee resolves the function or method a call expression invokes,
+// or nil for calls through function values, builtins and conversions.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleePath returns the import path of the package a call's callee is
+// declared in ("" for builtins, conversions and indirect calls).
+func calleePath(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pkgIs reports whether path is the named repo package, matching by
+// suffix so both the real module path (repro/internal/obs) and
+// analysistest fixture paths resolve. want is the path tail starting at
+// "internal/" (e.g. "internal/obs").
+func pkgIs(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// hasDirective reports whether a comment group contains the given
+// //-directive (exact line match up to trailing explanation, e.g.
+// "//reach:hotpath" or "//reach:hotpath -- why").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls calls fn for every function declaration in the pass,
+// giving analyzers one place to iterate files.
+func funcDecls(pass *analysis.Pass, fn func(decl *ast.FuncDecl)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// recvNamed returns the named type of a method's receiver (through one
+// pointer), or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldKey is the cross-package identity of a struct field: import
+// path, type name and field name. Cross-package analyses key on it
+// because each package's type-check materializes its own types.Var for
+// the same imported field.
+func fieldKey(field *types.Var) string {
+	pkg := ""
+	if field.Pkg() != nil {
+		pkg = field.Pkg().Path()
+	}
+	return pkg + "." + field.Name()
+}
+
+// selectionField resolves a selector expression to the struct field it
+// names, or nil when it names a method or package member.
+func selectionField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// stringConst returns the compile-time string value of expr and
+// whether it has one.
+func stringConst(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

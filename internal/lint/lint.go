@@ -1,0 +1,17 @@
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers returns the full reachlint suite in stable order. The
+// order is the order diagnostics group under -list and has no effect
+// on results.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicField,
+		CtxFlow,
+		HotPathAlloc,
+		MetricName,
+		SnapErr,
+		WireWidth,
+	}
+}

@@ -1,0 +1,359 @@
+// Package loader turns Go packages into the type-checked form
+// internal/lint/analysis consumes, without depending on
+// golang.org/x/tools/go/packages. Two entry points:
+//
+//   - Load resolves package patterns through `go list -export -deps`,
+//     parses each matched (non-test) package from source, and
+//     type-checks it against the toolchain's export data — the same
+//     data the compiler itself produces, so dependencies (stdlib and
+//     in-module alike) cost an export-file read instead of a recursive
+//     source type-check.
+//   - LoadTestdata loads GOPATH-style fixture trees
+//     (testdata/src/<importpath>/*.go) for the analysistest golden
+//     runner, resolving fixture-to-fixture imports from source and
+//     everything else through `go list -export` export data.
+//
+// Both produce packages sharing one token.FileSet so diagnostics from
+// any package position correctly.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Program is the result of one load: the target packages plus the
+// module root (where README.md and friends live), all over one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Packages are the requested packages, in go list order (Load) or
+	// dependency order (LoadTestdata).
+	Packages []*analysis.Package
+	// ModuleRoot is the directory of the enclosing module, "" when
+	// unknown (testdata loads).
+	ModuleRoot string
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Dir string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over patterns and
+// decodes the stream. -export compiles (or reuses from the build cache)
+// export data for every listed package; -e keeps broken packages in the
+// output so errors can be attributed instead of aborting the listing.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves import paths
+// through the given export-data files (as the gc compiler would).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseFiles parses the named files (comments on — the analyzers read
+// annotations) into fset.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load lists patterns (e.g. "./...") relative to dir and returns the
+// matched packages parsed and type-checked. Test files are not loaded:
+// the invariants reachlint enforces are production-code invariants, and
+// tests legitimately do things the analyzers forbid (context.Background,
+// ad-hoc metric names, allocation in wrapped hot paths).
+func Load(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	moduleRoot := ""
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		if moduleRoot == "" && p.Module != nil {
+			moduleRoot = p.Module.Dir
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	prog := &Program{Fset: fset, ModuleRoot: moduleRoot}
+	for _, p := range targets {
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+		}
+		prog.Packages = append(prog.Packages, &analysis.Package{
+			PkgPath: p.ImportPath, Dir: p.Dir,
+			Syntax: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+	return prog, nil
+}
+
+// LoadTestdata loads fixture packages from a GOPATH-style tree: the
+// sources of import path p live in root/src/p/*.go. Imports that
+// resolve inside the tree are type-checked from fixture source
+// (recursively, in dependency order); all other imports resolve through
+// toolchain export data. Only the requested paths are returned as
+// analysis targets — fixture dependencies (stub packages standing in
+// for repro/internal/obs and friends) are loaded but not analyzed.
+func LoadTestdata(root string, pkgpaths ...string) (*Program, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string]*fixture)
+	// Parse the requested packages and, transitively, every import that
+	// exists under root/src.
+	var queue []string
+	queue = append(queue, pkgpaths...)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if _, ok := parsed[path]; ok {
+			continue
+		}
+		fx, err := parseFixture(fset, root, path)
+		if err != nil {
+			return nil, err
+		}
+		parsed[path] = fx
+		for _, imp := range fx.imports {
+			if _, ok := parsed[imp]; !ok && fixtureExists(root, imp) {
+				queue = append(queue, imp)
+			}
+		}
+	}
+	// Everything imported but not present in the tree comes from the
+	// toolchain; one `go list -export -deps` over that set yields export
+	// data for it and its transitive dependencies.
+	externalSet := make(map[string]bool)
+	for _, fx := range parsed {
+		for _, imp := range fx.imports {
+			if _, ok := parsed[imp]; !ok && imp != "unsafe" {
+				externalSet[imp] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(externalSet) > 0 {
+		external := make([]string, 0, len(externalSet))
+		for p := range externalSet {
+			external = append(external, p)
+		}
+		sort.Strings(external)
+		listed, err := goList(root, external)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	// Type-check fixtures in dependency order so fixture imports resolve
+	// to already-checked fixture packages.
+	checked := make(map[string]*analysis.Package)
+	imp := &fixtureImporter{
+		checked:  checked,
+		fallback: exportImporter(fset, exports),
+	}
+	var check func(path string) error
+	checking := make(map[string]bool)
+	check = func(path string) error {
+		if _, ok := checked[path]; ok {
+			return nil
+		}
+		if checking[path] {
+			return fmt.Errorf("import cycle through fixture %q", path)
+		}
+		checking[path] = true
+		defer delete(checking, path)
+		fx := parsed[path]
+		for _, dep := range fx.imports {
+			if _, ok := parsed[dep]; ok {
+				if err := check(dep); err != nil {
+					return err
+				}
+			}
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, fx.files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking fixture %s: %w", path, err)
+		}
+		checked[path] = &analysis.Package{
+			PkgPath: path, Dir: fx.dir,
+			Syntax: fx.files, Types: tpkg, TypesInfo: info,
+		}
+		return nil
+	}
+	prog := &Program{Fset: fset}
+	for _, path := range pkgpaths {
+		if err := check(path); err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, checked[path])
+	}
+	return prog, nil
+}
+
+// fixture is one parsed (not yet type-checked) testdata package.
+type fixture struct {
+	dir     string
+	files   []*ast.File
+	imports []string
+}
+
+func fixtureDir(root, path string) string {
+	return filepath.Join(root, "src", filepath.FromSlash(path))
+}
+
+func fixtureExists(root, path string) bool {
+	st, err := os.Stat(fixtureDir(root, path))
+	return err == nil && st.IsDir()
+}
+
+func parseFixture(fset *token.FileSet, root, path string) (*fixture, error) {
+	dir := fixtureDir(root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", path, err)
+	}
+	fx := &fixture{dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		fx.files = append(fx.files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !seen[p] {
+				seen[p] = true
+				fx.imports = append(fx.imports, p)
+			}
+		}
+	}
+	if len(fx.files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	return fx, nil
+}
+
+// fixtureImporter resolves fixture packages from the checked set and
+// everything else through export data.
+type fixtureImporter struct {
+	checked  map[string]*analysis.Package
+	fallback types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := fi.checked[path]; ok {
+		return p.Types, nil
+	}
+	return fi.fallback.Import(path)
+}

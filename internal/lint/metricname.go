@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MetricName validates every metric registered through internal/obs and
+// keeps the README metrics catalog honest.
+//
+// Rules for a name passed to Registry.Histogram / Counter / CounterFunc
+// / GaugeFunc:
+//
+//   - it must be a compile-time string constant (the catalog check is
+//     static; a computed name can't be checked, so it can't be used)
+//   - it must match ^[a-z][a-z0-9_]*$ and carry the reach_ prefix
+//   - counters end in _total, histograms in _seconds (values are
+//     recorded in nanoseconds and exposed in seconds; the suffix is the
+//     contract that conversion happened)
+//   - literal label keys must match ^[a-z][a-z0-9_]*$
+//   - within one package: the same (name, literal label set) must not be
+//     registered twice, and one name must not appear with two different
+//     help strings (the registry silently keeps the first)
+//
+// Run over the whole tree, the Finish pass compares the set of
+// registered names against the README metrics catalog — every
+// registered metric must be documented, and every reach_* metric the
+// README mentions must still exist in code. Drift fails the build in
+// either direction. The catalog may use one brace expansion per name
+// (reach_cache_{hits,misses}_total); a trailing {...} group is read as
+// a label list, not an expansion.
+var MetricName = &analysis.Analyzer{
+	Name:   "metricname",
+	Doc:    "obs metric names must be valid, unique and catalogued in the README",
+	Run:    runMetricName,
+	Finish: finishMetricName,
+}
+
+// ReadmePath points Finish at the metrics catalog. The reachlint driver
+// sets it to <module root>/README.md; empty skips the catalog check
+// (analysistest fixtures opt in by setting it).
+var ReadmePath string
+
+// registryConstructors maps obs.Registry method names to the metric
+// type they register.
+var registryConstructors = map[string]string{
+	"Histogram": "histogram", "Counter": "counter", "CounterFunc": "counter", "GaugeFunc": "gauge",
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+type metricFact struct {
+	name string
+	pos  token.Position
+}
+
+const metricFactsKey = "metricname/registered"
+
+func metricFacts(g *analysis.Global) *[]metricFact {
+	f, ok := g.Facts[metricFactsKey].(*[]metricFact)
+	if !ok {
+		f = &[]metricFact{}
+		g.Facts[metricFactsKey] = f
+	}
+	return f
+}
+
+func runMetricName(pass *analysis.Pass) error {
+	// The defining package forwards names between its own constructors
+	// (Counter wraps CounterFunc); those are plumbing, not registrations.
+	if pkgIs(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	facts := metricFacts(pass.Global)
+	type seenKey struct{ name, labels string }
+	seen := make(map[seenKey]token.Position)
+	helps := make(map[string]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			typ, isCtor := registryConstructors[fn.Name()]
+			if !isCtor || len(call.Args) < 3 {
+				return true
+			}
+			recv := recvNamed(fn)
+			if recv == nil || recv.Obj().Name() != "Registry" || recv.Obj().Pkg() == nil ||
+				!pkgIs(recv.Obj().Pkg().Path(), "internal/obs") {
+				return true
+			}
+			name, ok := stringConst(pass.TypesInfo, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a compile-time string constant so the catalog check can see it")
+				return true
+			}
+			*facts = append(*facts, metricFact{name: name, pos: pass.Fset.Position(call.Args[0].Pos())})
+
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q violates the naming rule %s", name, metricNameRE)
+			} else if !strings.HasPrefix(name, "reach_") {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q lacks the reach_ namespace prefix", name)
+			}
+			switch typ {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") {
+					pass.Reportf(call.Args[0].Pos(),
+						"histogram %q must end in _seconds (recorded in ns, exposed in s)", name)
+				}
+			}
+
+			help, helpConst := stringConst(pass.TypesInfo, call.Args[1])
+			if helpConst && metricNameRE.MatchString(name) {
+				if prev, ok := helps[name]; ok && prev != help {
+					pass.Reportf(call.Args[1].Pos(),
+						"metric %q registered with a second help string; the registry keeps the first, so exposition and code disagree", name)
+				} else if !ok {
+					helps[name] = help
+				}
+			}
+
+			labels, literal := literalLabels(pass, call.Args[2])
+			if literal {
+				key := seenKey{name: name, labels: labels}
+				if prev, dup := seen[key]; dup {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric %q with labels %s already registered at %s:%d", name, labelsForMsg(labels), prev.Filename, prev.Line)
+				} else {
+					seen[key] = pass.Fset.Position(call.Args[0].Pos())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func labelsForMsg(labels string) string {
+	if labels == "" {
+		return "{}"
+	}
+	return labels
+}
+
+// literalLabels renders a labels argument when it is nil or a composite
+// literal with constant keys and values; ok is false for dynamic label
+// sets (which then skip the duplicate check). Label keys are validated
+// here as a side effect.
+func literalLabels(pass *analysis.Pass, arg ast.Expr) (rendered string, ok bool) {
+	arg = ast.Unparen(arg)
+	if tv, isTyped := pass.TypesInfo.Types[arg]; isTyped && tv.IsNil() {
+		return "", true
+	}
+	lit, isLit := arg.(*ast.CompositeLit)
+	if !isLit {
+		return "", false
+	}
+	var pairs []string
+	allConst := true
+	for _, elt := range lit.Elts {
+		kv, isKV := elt.(*ast.KeyValueExpr)
+		if !isKV {
+			continue
+		}
+		k, kConst := stringConst(pass.TypesInfo, kv.Key)
+		if kConst && !metricNameRE.MatchString(k) {
+			pass.Reportf(kv.Key.Pos(), "label key %q violates the naming rule %s", k, metricNameRE)
+		}
+		v, vConst := stringConst(pass.TypesInfo, kv.Value)
+		if !kConst || !vConst {
+			allConst = false
+			continue
+		}
+		pairs = append(pairs, k+"="+v)
+	}
+	if !allConst {
+		return "", false
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}", true
+}
+
+func finishMetricName(g *analysis.Global) {
+	if ReadmePath == "" {
+		return
+	}
+	facts := *metricFacts(g)
+	if len(facts) == 0 {
+		return
+	}
+	data, err := os.ReadFile(ReadmePath)
+	if err != nil {
+		g.Reportf("metricname", token.Position{Filename: ReadmePath},
+			"cannot read metrics catalog: %v", err)
+		return
+	}
+	documented := catalogNames(string(data))
+	registered := make(map[string]token.Position)
+	for _, f := range facts {
+		if _, ok := registered[f.name]; !ok {
+			registered[f.name] = f.pos
+		}
+	}
+	names := make([]string, 0, len(registered))
+	for name := range registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := documented[name]; !ok {
+			g.Reportf("metricname", registered[name],
+				"metric %q is not documented in the README metrics catalog (%s)", name, ReadmePath)
+		}
+	}
+	docNames := make([]string, 0, len(documented))
+	for name := range documented {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		if _, ok := registered[name]; !ok {
+			g.Reportf("metricname", token.Position{Filename: ReadmePath, Line: documented[name]},
+				"README documents metric %q, which no code registers", name)
+		}
+	}
+}
+
+// catalogNames extracts the reach_* metric names a README mentions,
+// mapped to their line number. It expands one infix brace group per
+// mention — reach_cache_{hits,misses}_total names two metrics — while a
+// trailing {...} group (labels, e.g. reach_build_info{go_version,...})
+// is dropped. Mentions that are bare prefixes (e.g. the text "reach_"
+// in prose) are ignored.
+func catalogNames(readme string) map[string]int {
+	names := make(map[string]int)
+	for lineno, line := range strings.Split(readme, "\n") {
+		for _, name := range lineMetricNames(line) {
+			if _, ok := names[name]; !ok {
+				names[name] = lineno + 1
+			}
+		}
+	}
+	return names
+}
+
+var (
+	namePartRE  = regexp.MustCompile(`^[a-z0-9_]+`)
+	braceBodyRE = regexp.MustCompile(`^\{([a-z0-9_,]+)\}`)
+)
+
+func lineMetricNames(line string) []string {
+	var out []string
+	for i := 0; i+6 <= len(line); i++ {
+		if line[i:i+6] != "reach_" {
+			continue
+		}
+		if i > 0 && isNameByte(line[i-1]) {
+			continue // mid-word, e.g. foo_reach_bar
+		}
+		rest := line[i:]
+		prefix := namePartRE.FindString(rest)
+		rest = rest[len(prefix):]
+		var expansions []string
+		if m := braceBodyRE.FindStringSubmatch(rest); m != nil {
+			after := rest[len(m[0]):]
+			if after != "" && isNameByte(after[0]) {
+				// Infix group: expand each alternative and consume the
+				// suffix that follows the brace.
+				suffix := namePartRE.FindString(after)
+				for _, alt := range strings.Split(m[1], ",") {
+					expansions = append(expansions, prefix+alt+suffix)
+				}
+				rest = after[len(suffix):]
+			}
+			// Trailing group: label list, not an expansion — prefix
+			// alone is the name.
+		}
+		if expansions == nil {
+			expansions = []string{prefix}
+		}
+		for _, name := range expansions {
+			// Require a real metric-shaped name, not the bare prefix
+			// "reach_" prose can mention.
+			if len(name) > len("reach_") && !strings.HasSuffix(name, "_") {
+				out = append(out, name)
+			}
+		}
+		i += len(prefix) - 1
+	}
+	return out
+}
+
+func isNameByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= '0' && b <= '9')
+}

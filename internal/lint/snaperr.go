@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SnapErr rejects silently discarded errors on the snapshot write and
+// read paths.
+//
+// The blockio Writer latches its first error internally, so dropping an
+// intermediate Uint64's result is fine — but dropping the error of a
+// top-level Encode/Decode/Write call means a truncated snapshot is
+// reported as a success and only discovered when a replica fails to
+// load it. Any statement that calls a function from internal/blockio
+// or internal/snapshot, or an Encode*/Decode* function from the codec
+// owners (internal/graph, internal/observe, internal/hoplabel), and
+// throws away a returned error is an error here. Assigning to _ stays
+// legal: it is a visible, greppable opt-out; a bare call is invisible.
+var SnapErr = &analysis.Analyzer{
+	Name: "snaperr",
+	Doc:  "snapshot/blockio errors must be handled, not silently discarded",
+	Run:  runSnapErr,
+}
+
+// snapErrPackages are the packages whose every error matters on the
+// persistence path.
+var snapErrPackages = []string{"internal/blockio", "internal/snapshot"}
+
+func runSnapErr(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !snapErrScope(fn) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isErrorType(sig.Results().At(i).Type()) {
+					pass.Reportf(call.Pos(),
+						"error result of %s.%s is discarded; a failed snapshot write/read must surface (assign to _ to opt out explicitly)",
+						fn.Pkg().Name(), fn.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// snapErrScope reports whether fn is on the persistence path: anything
+// in blockio/snapshot, or a codec entry point elsewhere in the repo.
+func snapErrScope(fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	for _, p := range snapErrPackages {
+		if pkgIs(path, p) {
+			return true
+		}
+	}
+	if strings.HasPrefix(fn.Name(), "Encode") || strings.HasPrefix(fn.Name(), "Decode") {
+		for _, p := range []string{"internal/graph", "internal/observe", "internal/hoplabel"} {
+			if pkgIs(path, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

@@ -1,0 +1,37 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // accessed via sync/atomic in incr — every access must be
+	safe int64 // never touched atomically — plain access is fine
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n) // sanctioned: through the atomic API
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `plain read of field atomicfield\.n`
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `plain write of field atomicfield\.n`
+}
+
+func (c *counter) plainOnly() int64 {
+	c.safe++
+	return c.safe
+}
+
+func fresh() *counter {
+	return &counter{n: 1} // want `plain write of field atomicfield\.n`
+}
+
+func freshPositional() counter {
+	return counter{2, 0} // want `plain write of field atomicfield\.n`
+}

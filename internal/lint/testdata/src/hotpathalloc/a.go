@@ -1,0 +1,62 @@
+package hotpathalloc
+
+import "fmt"
+
+type rec struct{ n int }
+
+func sink(v any) { _ = v }
+
+func helper() {}
+
+//reach:hotpath
+func bad(s string, xs []int, r rec) {
+	fmt.Println(s)     // want `fmt call`
+	_ = s + "!"        // want `non-constant string concatenation`
+	_ = []int{1}       // want `slice literal allocates`
+	_ = map[int]int{}  // want `map literal allocates`
+	_ = &rec{}         // want `&composite literal escapes`
+	_ = make([]int, 1) // want `make allocates`
+	_ = new(rec)       // want `new allocates`
+	_ = append(xs, 1)  // want `append may grow`
+	_ = []byte(s)      // want `conversion string -> \[\]byte allocates`
+	go helper()        // want `goroutine launch allocates`
+	sink(r.n)          // want `argument to sink boxes int`
+	var i any = r      // want `assignment boxes hotpathalloc\.rec`
+	_ = i
+	defer helper() // want `defer`
+}
+
+//reach:hotpath
+func badClosure(k int) {
+	f := func() int { return k } // want `function literal`
+	_ = f
+}
+
+//reach:hotpath
+func badReturn(x int) any {
+	return x // want `return boxes int into interface`
+}
+
+// good stays within the contract: arithmetic, array (not slice)
+// literals, struct values, calls to plain functions, constant strings.
+//
+//reach:hotpath
+func good(a, b uint32, xs []uint32) uint32 {
+	var buf [4]uint32
+	buf[0] = a
+	r := rec{n: int(b)}
+	helper()
+	const prefix = "x" + "y"
+	_ = prefix
+	for _, v := range xs {
+		a += v + uint32(r.n)
+	}
+	_ = buf
+	return a + b
+}
+
+// unannotated functions may allocate freely.
+func unmarked(s string) []byte {
+	fmt.Println(s)
+	return []byte(s + "!")
+}

@@ -1,0 +1,10 @@
+package metriccatalog
+
+import "repro/internal/obs"
+
+func register(r *obs.Registry) {
+	r.Counter("reach_good_total", "Documented plainly.", nil)
+	r.Counter("reach_extra_total", "Documented via a brace expansion.", nil)
+	r.Histogram("reach_lookup_seconds", "Documented with a label spec.", nil)
+	r.Counter("reach_undocumented_total", "Missing from the catalog.", nil) // want `not documented in the README metrics catalog`
+}

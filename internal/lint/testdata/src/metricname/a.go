@@ -1,0 +1,22 @@
+package metricname
+
+import "repro/internal/obs"
+
+const latency = "reach_lookup_seconds"
+
+func register(r *obs.Registry, dyn string, fn func() int64) {
+	r.Counter("reach_good_total", "Queries served.", nil)
+	r.Histogram(latency, "Lookup latency.", nil)
+	r.CounterFunc("reach_exported_total", "Exported from an atomic.", nil, fn)
+	r.GaugeFunc("reach_depth", "Queue depth.", obs.Labels{"queue": "probe"}, nil)
+
+	r.Counter("reach-dashes-total", "Bad.", nil) // want `violates the naming rule` `must end in _total`
+	r.Counter("queries_total", "Bad.", nil)      // want `lacks the reach_ namespace prefix`
+	r.Counter("reach_oops", "Bad.", nil)         // want `counter "reach_oops" must end in _total`
+	r.Histogram("reach_lat_ms", "Bad.", nil)     // want `must end in _seconds`
+	r.Counter(dyn, "Bad.", nil)                  // want `compile-time string constant`
+
+	r.Counter("reach_good_total", "Queries served.", nil)                             // want `already registered`
+	r.Counter("reach_good_total", "A different story.", obs.Labels{"tier": "router"}) // want `second help string`
+	r.GaugeFunc("reach_bad_label", "Bad key.", obs.Labels{"Upper-Case": "v"}, nil)    // want `label key "Upper-Case" violates`
+}

@@ -1,0 +1,15 @@
+// Package blockio is a fixture stub standing in for the real
+// repro/internal/blockio: enough surface for the snaperr fixtures.
+package blockio
+
+type Writer struct{}
+
+func (w *Writer) Uint64(v uint64) {}
+
+func (w *Writer) Err() error { return nil }
+
+type File struct{}
+
+func (f *File) Close() error { return nil }
+
+func Open(path string) (*File, error) { return &File{}, nil }

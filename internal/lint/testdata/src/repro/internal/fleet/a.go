@@ -1,0 +1,72 @@
+// Package fleet is a ctxflow fixture: its import path ends in
+// internal/fleet, putting it inside the serving-stack scope.
+package fleet
+
+import (
+	"context"
+	"net/http"
+)
+
+func Probe(url string) error { // want `exported Probe calls into net/http .* but takes no context\.Context`
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func Detached(d int) {
+	ctx := context.Background() // want `context\.Background\(\) detaches`
+	_ = ctx
+	ctx2 := context.TODO() // want `context\.TODO\(\) detaches`
+	_ = ctx2
+}
+
+func Misordered(url string, ctx context.Context) error { // want `takes context\.Context as parameter 2; context goes first`
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+// Good threads the caller's context down to the wire.
+func Good(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+type Handler struct{}
+
+// ServeHTTP is pinned by http.Handler; the request carries the context.
+func (Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get("http://upstream.invalid/")
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Close is teardown: it legitimately runs without a caller context.
+func (Handler) Close() error {
+	resp, err := http.Get("http://upstream.invalid/drain")
+	if err == nil {
+		resp.Body.Close()
+	}
+	return nil
+}
+
+// unexportedProbe is out of scope for the signature rules.
+func unexportedProbe(url string) {
+	resp, err := http.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,9 @@
+// Package graph is a fixture stub standing in for the real
+// repro/internal/graph: one codec entry point for the snaperr fixtures.
+package graph
+
+import "repro/internal/blockio"
+
+type Graph struct{}
+
+func EncodeCSR(w *blockio.Writer, g *Graph) error { return nil }

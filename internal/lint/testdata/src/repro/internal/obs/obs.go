@@ -1,0 +1,22 @@
+// Package obs is a fixture stub standing in for the real
+// repro/internal/obs: just the Registry constructor surface the
+// metricname analyzer matches on (by package-path suffix).
+package obs
+
+type Labels map[string]string
+
+type Histogram struct{}
+
+type Counter struct{}
+
+func (c *Counter) Value() int64 { return 0 }
+
+type Registry struct{}
+
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram { return &Histogram{} }
+
+func (r *Registry) Counter(name, help string, labels Labels) *Counter { return &Counter{} }
+
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {}
+
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {}

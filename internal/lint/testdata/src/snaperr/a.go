@@ -1,0 +1,25 @@
+package snaperr
+
+import (
+	"repro/internal/blockio"
+	"repro/internal/graph"
+)
+
+func write(w *blockio.Writer, g *graph.Graph) error {
+	w.Uint64(1)           // no error result; the writer latches internally
+	graph.EncodeCSR(w, g) // want `error result of graph\.EncodeCSR is discarded`
+	if err := graph.EncodeCSR(w, g); err != nil {
+		return err
+	}
+	return w.Err()
+}
+
+func open(path string) {
+	f, err := blockio.Open(path)
+	if err != nil {
+		return
+	}
+	f.Close()       // want `error result of blockio\.Close is discarded`
+	_ = f.Close()   // the visible, greppable opt-out
+	defer f.Close() // deferred cleanup is conventional; not flagged
+}

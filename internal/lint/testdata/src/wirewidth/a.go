@@ -1,0 +1,31 @@
+package wirewidth
+
+import "encoding/binary"
+
+// rec is fully fixed-width: fine on any architecture.
+//
+//reach:wire
+type rec struct {
+	A uint32
+	B int64
+	C [4]uint8
+	D []float32
+	E hdr
+}
+
+//reach:wire
+type badRec struct {
+	A int         // want `wire struct badRec: field type contains int`
+	S string      // want `wire struct badRec: field type contains string`
+	M map[int]int // want `wire struct badRec: field type contains map`
+}
+
+//reach:wire -- marked but not a struct
+type alias int // want `alias is marked //reach:wire but is not a struct`
+
+// outsideCodecScope shows a.go is not codec scope in this package: the
+// binary.Write of a bare int goes unflagged without the directive or a
+// codec.go filename.
+func outsideCodecScope(n int) {
+	_ = binary.Write(nil, binary.LittleEndian, n)
+}

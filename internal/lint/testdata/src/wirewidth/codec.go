@@ -1,0 +1,30 @@
+package wirewidth
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type hdr struct {
+	N int64
+	C uint32
+}
+
+type badHdr struct {
+	N int // platform-width, smuggled inside a struct
+}
+
+func encode(w io.Writer, h hdr, b badHdr, n int, buf []byte) {
+	_ = binary.Write(w, binary.LittleEndian, h)
+	_ = binary.Write(w, binary.LittleEndian, int64(n))
+	_ = binary.Write(w, binary.LittleEndian, n)  // want `platform-width int`
+	_ = binary.Write(w, binary.LittleEndian, b)  // want `platform-width int`
+	_ = binary.Write(w, binary.LittleEndian, &b) // want `platform-width int`
+	_ = binary.PutVarint(buf, 5)                 // want `binary\.PutVarint is variable-width`
+	_, _ = binary.Uvarint(buf)                   // want `binary\.Uvarint is variable-width`
+}
+
+func decode(r io.Reader, h *hdr, n *int) {
+	_ = binary.Read(r, binary.LittleEndian, h)
+	_ = binary.Read(r, binary.LittleEndian, n) // want `platform-width int`
+}

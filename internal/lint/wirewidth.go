@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// WireWidth keeps platform-width integers out of the snapshot format.
+//
+// The snapshot container is portable because every encoded field is a
+// fixed-width little-endian integer; a bare int or uint in a codec
+// writes 8 bytes on one machine and would decode differently on a
+// 32-bit one (and encoding/binary.Write refuses it only at runtime,
+// deep inside a save path). Inside codec scope — the internal/snapshot
+// and internal/blockio packages, any file named codec.go (the
+// per-method index codecs), and structs marked //reach:wire anywhere —
+// this analyzer rejects:
+//
+//   - encoding/binary Read/Write calls whose data contains int, uint or
+//     uintptr (directly, or inside a struct/slice/array/pointer)
+//   - the encoding/binary varint family (variable-width encoding has no
+//     place in a fixed-width, mmap-aligned format)
+//   - //reach:wire struct fields that are not fixed-width: only
+//     (u)int{8,16,32,64}, float32/64, and arrays/slices/nested structs
+//     of those survive an mmap on another architecture
+var WireWidth = &analysis.Analyzer{
+	Name: "wirewidth",
+	Doc:  "codec scope must only marshal fixed-width types (no bare int/uint)",
+	Run:  runWireWidth,
+}
+
+// WireDirective marks a struct type whose layout is (or mirrors) an
+// encoded wire record.
+const WireDirective = "//reach:wire"
+
+// varintFuncs is the encoding/binary variable-width family.
+var varintFuncs = map[string]bool{
+	"PutVarint": true, "PutUvarint": true, "AppendVarint": true, "AppendUvarint": true,
+	"Varint": true, "Uvarint": true, "ReadVarint": true, "ReadUvarint": true,
+}
+
+func runWireWidth(pass *analysis.Pass) error {
+	pkgScope := pkgIs(pass.Pkg.Path(), "internal/snapshot") || pkgIs(pass.Pkg.Path(), "internal/blockio")
+	for _, file := range pass.Files {
+		fileScope := pkgScope || filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "codec.go"
+
+		// //reach:wire structs are checked wherever they are declared.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, WireDirective) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "%s is marked %s but is not a struct", ts.Name.Name, WireDirective)
+					continue
+				}
+				checkWireStruct(pass, ts.Name.Name, st)
+			}
+		}
+
+		if !fileScope {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			if varintFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"binary.%s is variable-width; the snapshot format is fixed-width little-endian blocks", fn.Name())
+				return true
+			}
+			if (fn.Name() == "Write" || fn.Name() == "Read") && len(call.Args) == 3 {
+				t := pass.TypesInfo.Types[call.Args[2]].Type
+				if bad := findPlatformInt(t, nil); bad != "" {
+					pass.Reportf(call.Args[2].Pos(),
+						"binary.%s data contains platform-width %s; marshal a fixed-width type instead", fn.Name(), bad)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWireStruct validates every field of a //reach:wire struct.
+func checkWireStruct(pass *analysis.Pass, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if bad := nonWireType(t, nil); bad != "" {
+			pass.Reportf(field.Pos(), "wire struct %s: field type contains %s; wire structs may only hold fixed-width integers and floats", name, bad)
+		}
+	}
+}
+
+// findPlatformInt walks t and returns the first platform-width integer
+// type it contains ("" when none). seen breaks recursive types.
+func findPlatformInt(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int, types.Uint, types.Uintptr:
+			return u.Name()
+		}
+	case *types.Pointer:
+		return findPlatformInt(u.Elem(), seen)
+	case *types.Slice:
+		return findPlatformInt(u.Elem(), seen)
+	case *types.Array:
+		return findPlatformInt(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad := findPlatformInt(u.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+// nonWireType returns a description of the first non-fixed-width
+// component of t ("" when t is wire-safe).
+func nonWireType(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Float32, types.Float64:
+			return ""
+		}
+		return u.Name()
+	case *types.Slice:
+		return nonWireType(u.Elem(), seen)
+	case *types.Array:
+		return nonWireType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad := nonWireType(u.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+		return ""
+	}
+	return strings.TrimPrefix(t.String(), "untyped ")
+}

@@ -61,6 +61,8 @@ func bucketUpper(i int) int64 {
 
 // Record adds one observation. Negative values clamp to zero. It is
 // safe for any number of concurrent callers and never allocates.
+//
+//reach:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0

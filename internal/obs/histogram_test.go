@@ -231,3 +231,18 @@ func BenchmarkHistogramSnapshotQuantile(b *testing.B) {
 		_ = snap.Quantile(0.99)
 	}
 }
+
+// TestRecordZeroAlloc pins the //reach:hotpath contract reachlint
+// enforces statically: Record is on every request several times over
+// and must never allocate.
+func TestRecordZeroAlloc(t *testing.T) {
+	h := &Histogram{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(17)
+		h.Record(1 << 30)
+		h.Record(-3)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %v times per run; the hot path must be allocation-free", allocs)
+	}
+}

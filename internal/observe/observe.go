@@ -154,6 +154,8 @@ type Stack struct {
 
 // vrec packs one vertex's observer state into 32 bytes — half a cache
 // line, so a query's two endpoint loads touch at most two lines.
+//
+//reach:wire
 type vrec struct {
 	pos, fmax, bmin int32
 	_               int32 // pad to a power-of-two size
@@ -294,6 +296,8 @@ func sweep(g *graph.Graph, src uint32, visited *bitset.Bitset, queue []uint32, o
 // guarantees s ≠ t (same-SCC queries are answered before the stack) and
 // both in range. Returns Positive/Negative with the deciding observer's
 // counter bumped, or Unknown (no counter) when the index must answer.
+//
+//reach:hotpath
 func (st *Stack) Query(s, t uint32) Verdict {
 	rs, rt := &st.rec[s], &st.rec[t]
 	ps, pt := rs.pos, rt.pos
@@ -327,6 +331,8 @@ func (st *Stack) Query(s, t uint32) Verdict {
 // path at two cache lines of work. Single-goroutine callers (and the
 // soundness tests) still observe exact counts; readers always see a
 // torn-free monotonic value because loads and stores stay atomic.
+//
+//reach:hotpath
 func (st *Stack) bump(k Kind) {
 	c := &st.hits[k]
 	c.Store(c.Load() + 1)

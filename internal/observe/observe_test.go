@@ -332,3 +332,20 @@ func TestHitsMapLabels(t *testing.T) {
 		t.Errorf("HitsMap has %d entries, want 4", len(m))
 	}
 }
+
+// TestQueryZeroAlloc pins the //reach:hotpath contract reachlint
+// enforces statically: the observer fast path answers without touching
+// the heap, whichever branch decides.
+func TestQueryZeroAlloc(t *testing.T) {
+	g := randomDAG(t, 200, 0.05, 9)
+	st := Build(g, Config{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		st.Query(1, 7)
+		st.Query(7, 1)
+		st.Query(3, 199)
+		st.Query(199, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("Query allocated %v times per run; the hot path must be allocation-free", allocs)
+	}
+}

@@ -131,6 +131,8 @@ func newFIFOCache(shards, capacity int) *fifoCache {
 
 // get returns the cached answer for (u, v) and whether one was present,
 // bumping the shard's hit or miss counter.
+//
+//reach:hotpath
 func (c *fifoCache) get(u, v uint32) (answer, ok bool) {
 	k := pairKey(u, v)
 	sh := &c.shards[fnvIndex(k, c.mask)]

@@ -248,3 +248,22 @@ func TestCacheConcurrent(t *testing.T) {
 		}
 	})
 }
+
+// TestCacheGetZeroAlloc pins the //reach:hotpath contract reachlint
+// enforces statically: the shard lookup — hit or miss, either policy —
+// must not allocate.
+func TestCacheGetZeroAlloc(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, policy string) {
+		c := newCache(policy, 4, 1024)
+		c.put(1, 2, true)
+		c.put(3, 4, false)
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.get(1, 2)
+			c.get(3, 4)
+			c.get(9, 9) // miss
+		})
+		if allocs != 0 {
+			t.Fatalf("get allocated %v times per run; the hot path must be allocation-free", allocs)
+		}
+	})
+}

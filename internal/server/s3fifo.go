@@ -121,6 +121,7 @@ func newS3FIFOCache(shards, capacity int) *s3fifoCache {
 	return c
 }
 
+//reach:hotpath
 func (c *s3fifoCache) get(u, v uint32) (answer, ok bool) {
 	k := pairKey(u, v)
 	sh := &c.shards[fnvIndex(k, c.mask)]

@@ -129,7 +129,7 @@ func Open(path string) (*Snapshot, error) {
 	}
 	s, err := decode(f.Reader)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best-effort unmap; the decode error is the one to report
 		return nil, err
 	}
 	s.closer = f.Close

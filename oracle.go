@@ -305,7 +305,7 @@ func Load(path string) (*Oracle, error) {
 	}
 	o, err := fromSnapshot(snap)
 	if err != nil {
-		snap.Close()
+		_ = snap.Close() // best-effort unmap; the decode error is the one to report
 		return nil, err
 	}
 	o.closer = snap.Close

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-shot local lint: everything the CI lint job runs that needs no
+# network. gofmt, go vet, the reachlint analyzer suite, and — when the
+# binary is already installed — staticcheck.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== reachlint"
+go run ./cmd/reachlint -vet=false ./... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck ./... || fail=1
+else
+  echo "== staticcheck (skipped: not installed; CI still runs it)"
+fi
+
+exit "$fail"
