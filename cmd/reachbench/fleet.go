@@ -38,7 +38,7 @@ type localFleet struct {
 // noObservers strips the observer fast path from every replica (and from
 // the build), so a -no-observers run measures the pure index path — the
 // end-to-end half of the ablation story.
-func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool) (*localFleet, error) {
+func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool, wire string) (*localFleet, error) {
 	if graphPath == "" {
 		return nil, fmt.Errorf("-replicas requires -graph (the fleet needs a graph to build its snapshot from)")
 	}
@@ -111,6 +111,7 @@ func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool
 
 	rt, err := fleet.New(context.Background(), fleet.Config{
 		Replicas:      bases,
+		Wire:          wire,
 		ProbeInterval: 200 * time.Millisecond,
 		Logf:          func(string, ...any) {}, // probes are noise in a bench run
 	})

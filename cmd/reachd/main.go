@@ -74,10 +74,15 @@ func main() {
 		slowTO    = flag.Duration("slow-query-log", 0, "log queries slower than this as JSON lines on stderr (0 disables)")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		observers = flag.String("observers", "on", "observer fast path in front of the index: on or off")
+		wire      = flag.String("wire", "binary", "accept binary batch frames on /v1/batch: binary (JSON still accepted) or json (binary answered 415)")
 	)
 	flag.Parse()
 	if *observers != "on" && *observers != "off" {
 		fmt.Fprintf(os.Stderr, "reachd: unknown -observers %q (want on or off)\n", *observers)
+		os.Exit(1)
+	}
+	if *wire != "binary" && *wire != "json" {
+		fmt.Fprintf(os.Stderr, "reachd: unknown -wire %q (want binary or json)\n", *wire)
 		os.Exit(1)
 	}
 	if *policy != server.PolicyS3FIFO && *policy != server.PolicyFIFO {
@@ -103,6 +108,7 @@ func main() {
 		MaxInFlight:        *inflight,
 		SlowQueryThreshold: *slowTO,
 		EnablePprof:        *pprof,
+		DisableBinaryWire:  *wire == "json",
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "reachd: %v\n", err)
 		os.Exit(1)

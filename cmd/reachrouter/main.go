@@ -60,9 +60,11 @@ func main() {
 		upstreamTO = flag.Duration("upstream-timeout", 30*time.Second, "per-request timeout toward a replica (0 = none)")
 		slowTO     = flag.Duration("slow-query-log", 0, "log routed requests slower than this as JSON lines on stderr (0 disables)")
 		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		wire       = flag.String("wire", fleet.WireBinary, "encoding for replica sub-batches: binary (JSON fallback per replica) or json (ablation: force JSON everywhere)")
 	)
 	flag.Parse()
 	if err := run(*addr, *replicas, fleet.Config{
+		Wire:               *wire,
 		ProbeInterval:      *probeIvl,
 		ProbeTimeout:       *probeTO,
 		MaxProbeBackoff:    *maxBackoff,

@@ -14,8 +14,9 @@ import (
 )
 
 // benchFleet stands up n real replicas (shared immutable oracle, the
-// same thing N mmaps of one snapshot give) and a router over them.
-func benchFleet(b *testing.B, n int) (*Router, *reach.Graph) {
+// same thing N mmaps of one snapshot give) and a router over them
+// speaking the given wire encoding to replicas.
+func benchFleet(b *testing.B, n int, wire string) (*Router, *reach.Graph) {
 	b.Helper()
 	raw := gen.CitationDAG(5000, 4, 0.5, 3)
 	edges := make([][2]uint32, 0, raw.NumEdges())
@@ -38,7 +39,7 @@ func benchFleet(b *testing.B, n int) (*Router, *reach.Graph) {
 		b.Cleanup(func() { ts.Close(); s.Close() })
 		bases = append(bases, ts.URL)
 	}
-	cfg := Config{Replicas: bases, Logf: func(string, ...any) {}}
+	cfg := Config{Replicas: bases, Wire: wire, Logf: func(string, ...any) {}}
 	rt, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -58,20 +59,57 @@ func benchPairs(g *reach.Graph, size int) [][2]uint64 {
 }
 
 // BenchmarkRouterBatch measures the scatter-gather fan-out overhead: one
-// 512-pair batch through a router fronting 1 vs 3 replicas, with the
-// pairs/op rate making throughput comparable to the single-node
-// BenchmarkServerBatch. replicas=1 isolates the router's own hop
-// (proxy + merge cost); replicas=3 adds the scatter across the fleet.
+// 4096-pair batch through a router fronting 1 vs 3 replicas, on both
+// wire encodings, with the pairs/op rate making throughput comparable to
+// the single-node BenchmarkServerBatch. replicas=1 isolates the router's
+// own hop (proxy + merge cost); replicas=3 adds the scatter across the
+// fleet; wire=json vs wire=binary is the encoding ablation the binary
+// protocol exists for. One untimed priming batch warms the replica
+// caches so the loop measures steady-state serving, not oracle warmup —
+// the wire comparison is meaningless if iteration one buries both
+// encodings under index probes.
 func BenchmarkRouterBatch(b *testing.B) {
-	const batch = 512
+	const batch = 4096
 	for _, n := range []int{1, 3} {
-		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
-			rt, g := benchFleet(b, n)
+		for _, wire := range []string{WireBinary, WireJSON} {
+			b.Run(fmt.Sprintf("replicas=%d/wire=%s", n, wire), func(b *testing.B) {
+				rt, g := benchFleet(b, n, wire)
+				pairs := benchPairs(g, batch)
+				ctx := context.Background()
+				if _, err := rt.Batch(ctx, pairs); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rt.Batch(ctx, pairs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkDirectBatch is the no-router baseline: the same 4096-pair
+// batch straight to one replica over the same client code path, cache
+// primed like BenchmarkRouterBatch. The delta to
+// BenchmarkRouterBatch/replicas=1 is the router's added hop.
+func BenchmarkDirectBatch(b *testing.B) {
+	const batch = 4096
+	for _, wire := range []string{WireBinary, WireJSON} {
+		b.Run("wire="+wire, func(b *testing.B) {
+			rt, g := benchFleet(b, 1, wire)
 			pairs := benchPairs(g, batch)
+			c := rt.replicas[0].client
 			ctx := context.Background()
+			if _, err := c.Batch(ctx, pairs); err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := rt.Batch(ctx, pairs); err != nil {
+				if _, err := c.Batch(ctx, pairs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -79,23 +117,4 @@ func BenchmarkRouterBatch(b *testing.B) {
 			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
 		})
 	}
-}
-
-// BenchmarkDirectBatch is the no-router baseline: the same 512-pair
-// batch straight to one replica over the same client code path. The
-// delta to BenchmarkRouterBatch/replicas=1 is the router's added hop.
-func BenchmarkDirectBatch(b *testing.B) {
-	const batch = 512
-	rt, g := benchFleet(b, 1)
-	pairs := benchPairs(g, batch)
-	c := rt.replicas[0].client
-	ctx := context.Background()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Batch(ctx, pairs); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
 }

@@ -6,13 +6,31 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wireproto"
 )
+
+// wireCounters tallies batch traffic by encoding from the sender's
+// perspective: tx is request-body bytes sent to replicas, rx is
+// response-body bytes read back. The router shares one instance across
+// its replica clients and exposes it as reach_wire_frames_total /
+// reach_wire_bytes_total.
+type wireCounters struct {
+	framesJSON   atomic.Int64
+	framesBinary atomic.Int64
+	txJSON       atomic.Int64
+	rxJSON       atomic.Int64
+	txBinary     atomic.Int64
+	rxBinary     atomic.Int64
+}
 
 // Client speaks the reachd v1 wire protocol to one replica. It reuses
 // the server package's exported wire types, so the router can never
@@ -20,14 +38,33 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// binaryWire selects wireproto frames for Batch. The router sets it
+	// from the replica's healthz "wire" capability at every probe; the
+	// client clears it itself on a 415 (the replica's definitive "I
+	// don't speak binary") and retries the batch as JSON.
+	binaryWire atomic.Bool
+
+	// counters receives this client's batch traffic accounting; NewClient
+	// allocates a private set, the router repoints it at a shared one.
+	counters *wireCounters
 }
 
 // NewClient returns a client for the replica at base (e.g.
 // "http://10.0.0.3:8080"). timeout bounds each request end-to-end; zero
-// means no timeout.
+// means no timeout. Batches go as JSON until UseBinaryWire(true).
 func NewClient(base string, timeout time.Duration) *Client {
-	return &Client{base: base, hc: &http.Client{Timeout: timeout}}
+	return &Client{base: base, hc: &http.Client{Timeout: timeout}, counters: &wireCounters{}}
 }
+
+// UseBinaryWire switches Batch between wireproto frames and JSON. Turn
+// it on only for replicas whose healthz advertises the "binary" wire
+// capability; the client demotes itself back to JSON if the replica
+// answers 415 anyway (e.g. restarted with -wire=json between probes).
+func (c *Client) UseBinaryWire(on bool) { c.binaryWire.Store(on) }
+
+// BinaryWire reports whether Batch currently encodes wireproto frames.
+func (c *Client) BinaryWire() bool { return c.binaryWire.Load() }
 
 // Base returns the replica's base URL.
 func (c *Client) Base() string { return c.base }
@@ -63,6 +100,13 @@ func (e *StatusError) Retryable() bool {
 // request's context propagates to the replica as X-Reach-Trace, so one
 // ID follows a query through router and replica logs.
 func (c *Client) do(req *http.Request, out any) error {
+	return c.doCount(req, out, nil)
+}
+
+// doCount is do with optional response-byte accounting: when rx is
+// non-nil it receives the body bytes read (decode and drain both count),
+// feeding the reach_wire_bytes_total{direction="rx"} series.
+func (c *Client) doCount(req *http.Request, out any, rx *atomic.Int64) error {
 	if id := obs.TraceFrom(req.Context()); id != "" {
 		req.Header.Set(obs.TraceHeader, id)
 	}
@@ -70,18 +114,22 @@ func (c *Client) do(req *http.Request, out any) error {
 	if err != nil {
 		return err
 	}
+	body := &countingReader{r: resp.Body}
 	defer func() {
-		io.Copy(io.Discard, resp.Body) // drain so keep-alive can reuse the conn
+		io.Copy(io.Discard, body) // drain so keep-alive can reuse the conn
 		resp.Body.Close()
+		if rx != nil {
+			rx.Add(body.n)
+		}
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		se := &StatusError{Status: resp.StatusCode}
 		var eresp server.ErrorResponse
-		if body, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
-			if json.Unmarshal(body, &eresp) == nil && eresp.Error != "" {
+		if raw, err := io.ReadAll(io.LimitReader(body, 4096)); err == nil {
+			if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
 				se.Body = eresp.Error
 			} else {
-				se.Body = string(bytes.TrimSpace(body))
+				se.Body = string(bytes.TrimSpace(raw))
 			}
 		}
 		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
@@ -92,7 +140,19 @@ func (c *Client) do(req *http.Request, out any) error {
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(body).Decode(out)
+}
+
+// countingReader tallies bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
@@ -128,24 +188,157 @@ func (c *Client) Reachable(ctx context.Context, u, v uint64) (server.ReachableRe
 // results. A reply whose result count does not match the pair count is a
 // protocol violation and is reported as an error rather than silently
 // misaligned.
+//
+// With the binary wire negotiated (see UseBinaryWire), pairs go as one
+// wireproto frame; JSON remains the fallback for replicas that answer
+// 415 and for batches whose IDs exceed the frame format's uint32 range.
 func (c *Client) Batch(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
+	if c.binaryWire.Load() {
+		results, ok, err := c.batchBinary(ctx, pairs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return results, nil
+		}
+		// Fell through: wide IDs (this batch only) or a 415 (the client
+		// demoted itself to JSON for good).
+	}
+	return c.batchJSON(ctx, pairs)
+}
+
+func (c *Client) batchJSON(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
 	body, err := json.Marshal(server.BatchRequest{Pairs: pairs})
 	if err != nil {
 		return nil, err
 	}
+	c.counters.framesJSON.Add(1)
+	c.counters.txJSON.Add(int64(len(body)))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	var br server.BatchResponse
-	if err := c.do(req, &br); err != nil {
+	if err := c.doCount(req, &br, &c.counters.rxJSON); err != nil {
 		return nil, err
 	}
 	if len(br.Results) != len(pairs) {
 		return nil, fmt.Errorf("replica answered %d results for %d pairs", len(br.Results), len(pairs))
 	}
 	return br.Results, nil
+}
+
+// clientScratch is one binary batch's worth of reusable buffers: the
+// request frame (reused to read the smaller response frame back) and the
+// narrowed pairs.
+type clientScratch struct {
+	frame []byte
+	pairs [][2]uint32
+}
+
+var clientScratchPool = sync.Pool{New: func() any { return new(clientScratch) }}
+
+// batchBinary sends pairs as one wireproto request frame. ok=false with
+// a nil error means "send this (and maybe every future) batch as JSON
+// instead": the batch carries IDs wider than the frame format's uint32,
+// or the replica answered 415 and the client demoted itself.
+func (c *Client) batchBinary(ctx context.Context, pairs [][2]uint64) (results []bool, ok bool, err error) {
+	for _, p := range pairs {
+		if p[0] > math.MaxUint32 || p[1] > math.MaxUint32 {
+			return nil, false, nil
+		}
+	}
+	n := len(pairs)
+	sc := clientScratchPool.Get().(*clientScratch)
+	defer clientScratchPool.Put(sc)
+	if cap(sc.pairs) < n {
+		sc.pairs = make([][2]uint32, n)
+	}
+	p32 := sc.pairs[:n]
+	for i, p := range pairs {
+		p32[i] = [2]uint32{uint32(p[0]), uint32(p[1])}
+	}
+	size := wireproto.RequestSize(n)
+	if cap(sc.frame) < size {
+		sc.frame = make([]byte, size)
+	}
+	frame := sc.frame[:size]
+	wireproto.EncodeRequest(frame, p32)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(frame))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", wireproto.ContentType)
+	if id := obs.TraceFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	c.counters.framesBinary.Add(1)
+	c.counters.txBinary.Add(int64(size))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode == http.StatusUnsupportedMediaType {
+		// The replica does not speak these frames (restarted with
+		// -wire=json between probes, or an older build). Demote to JSON
+		// until a probe re-advertises the capability.
+		c.binaryWire.Store(false)
+		return nil, false, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &StatusError{Status: resp.StatusCode}
+		if raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
+			c.counters.rxBinary.Add(int64(len(raw)))
+			if _, msg, derr := wireproto.DecodeError(raw); derr == nil {
+				se.Body = msg
+			} else {
+				// Not an error frame — a proxy or mux answered. Keep the
+				// same best-effort body decoding the JSON path uses.
+				var eresp server.ErrorResponse
+				if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
+					se.Body = eresp.Error
+				} else {
+					se.Body = string(bytes.TrimSpace(raw))
+				}
+			}
+		}
+		if ra, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && ra > 0 {
+			se.RetryAfter = ra
+		}
+		return nil, false, se
+	}
+
+	// Success: the response frame is exactly ResponseSize(n) bytes and
+	// fits in the request's buffer (results are bit-packed).
+	rsize := wireproto.ResponseSize(n)
+	rframe := sc.frame[:rsize]
+	if _, err := io.ReadFull(resp.Body, rframe); err != nil {
+		return nil, false, fmt.Errorf("reading response frame: %w", err)
+	}
+	var trailer [1]byte
+	if extra, _ := resp.Body.Read(trailer[:]); extra != 0 {
+		return nil, false, fmt.Errorf("replica sent trailing bytes after response frame")
+	}
+	c.counters.rxBinary.Add(int64(rsize))
+	m, err := wireproto.ResponseCount(rframe)
+	if err != nil {
+		return nil, false, fmt.Errorf("bad response frame: %w", err)
+	}
+	if m != n {
+		return nil, false, fmt.Errorf("replica answered %d results for %d pairs", m, n)
+	}
+	results = make([]bool, n)
+	if err := wireproto.DecodeResponse(rframe, results); err != nil {
+		return nil, false, fmt.Errorf("bad response frame: %w", err)
+	}
+	return results, true, nil
 }
 
 // CloseIdleConnections releases the client's pooled keep-alive

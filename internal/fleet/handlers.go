@@ -237,7 +237,11 @@ type ReplicaStats struct {
 	// so one router stats read spots a replica running stale code.
 	GoVersion string `json:"go_version,omitempty"`
 	Revision  string `json:"revision,omitempty"`
-	InFlight  int64  `json:"in_flight"`
+	// Wire is the batch encoding this router currently sends the
+	// replica ("binary" or "json"), as negotiated from its healthz wire
+	// capability — the observable truth of a mixed fleet.
+	Wire     string `json:"wire"`
+	InFlight int64  `json:"in_flight"`
 	// Requests/Errors/Rejected count what THIS router sent the replica;
 	// the replica's own lifetime counters are under Upstream.
 	Requests int64 `json:"requests"`
@@ -317,9 +321,14 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 	}
 	var wg sync.WaitGroup
 	for i, r := range rt.replicas {
+		wire := WireJSON
+		if r.client.BinaryWire() {
+			wire = WireBinary
+		}
 		st := ReplicaStats{
 			Base:     r.base,
 			State:    stateName(r.state.Load()),
+			Wire:     wire,
 			InFlight: r.inflight.Load(),
 			Requests: r.requests.Load(),
 			Errors:   r.errors.Load(),

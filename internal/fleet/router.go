@@ -14,11 +14,13 @@ package fleet
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,7 +79,18 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// router's mux.
 	EnablePprof bool
+	// Wire selects the router→replica batch encoding: WireBinary (the
+	// default) sends wireproto frames to replicas whose healthz
+	// advertises the capability and JSON to the rest; WireJSON forces
+	// JSON everywhere (ablation / escape hatch). See docs/WIRE.md.
+	Wire string
 }
+
+// Config.Wire values.
+const (
+	WireBinary = "binary"
+	WireJSON   = "json"
+)
 
 func (c Config) withDefaults() Config {
 	if c.ProbeInterval <= 0 {
@@ -100,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.Wire == "" {
+		c.Wire = WireBinary
 	}
 	if c.SlowQueryThreshold > 0 && c.SlowQueryWriter == nil {
 		c.SlowQueryWriter = os.Stderr
@@ -211,6 +227,11 @@ type routerMetrics struct {
 	// Scatter/gather stage histograms for batches.
 	scatterDur *obs.Histogram
 
+	// wire tallies batch traffic to replicas by encoding, shared across
+	// every replica client; same series names as the replicas' own, so
+	// one scrape query shows both tiers (tx here is rx there).
+	wire wireCounters
+
 	slow *obs.SlowLog
 }
 
@@ -239,6 +260,18 @@ func (m *routerMetrics) init() {
 	m.reg.CounterFunc("reach_router_failovers_total", "Transport failures that ejected a replica.", nil, m.failovers.Load)
 	m.reg.CounterFunc("reach_router_no_replica_errors_total", "Requests failed for want of any healthy replica.", nil, m.noReplicas.Load)
 	m.reg.CounterFunc("reach_router_probes_total", "Health probes issued to replicas.", nil, m.probes.Load)
+	m.reg.CounterFunc("reach_wire_frames_total", "Sub-batches sent to replicas, by encoding.",
+		obs.Labels{"encoding": "json"}, m.wire.framesJSON.Load)
+	m.reg.CounterFunc("reach_wire_frames_total", "Sub-batches sent to replicas, by encoding.",
+		obs.Labels{"encoding": "binary"}, m.wire.framesBinary.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes exchanged with replicas, by direction (tx = requests sent, rx = responses read) and encoding.",
+		obs.Labels{"direction": "rx", "encoding": "json"}, m.wire.rxJSON.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes exchanged with replicas, by direction (tx = requests sent, rx = responses read) and encoding.",
+		obs.Labels{"direction": "tx", "encoding": "json"}, m.wire.txJSON.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes exchanged with replicas, by direction (tx = requests sent, rx = responses read) and encoding.",
+		obs.Labels{"direction": "rx", "encoding": "binary"}, m.wire.rxBinary.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes exchanged with replicas, by direction (tx = requests sent, rx = responses read) and encoding.",
+		obs.Labels{"direction": "tx", "encoding": "binary"}, m.wire.txBinary.Load)
 	// m.slow is assigned after init returns; the closure (unlike a method
 	// value) picks up the final pointer at scrape time.
 	m.reg.CounterFunc("reach_router_slow_queries_total", "Routed requests recorded in the slow-query log.", nil,
@@ -262,6 +295,9 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, errors.New("fleet: no replicas configured")
 	}
+	if cfg.Wire != WireBinary && cfg.Wire != WireJSON {
+		return nil, fmt.Errorf("fleet: unknown wire encoding %q (want %q or %q)", cfg.Wire, WireBinary, WireJSON)
+	}
 	if ctx == nil {
 		return nil, errors.New("fleet: nil base context")
 	}
@@ -274,9 +310,13 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 			return nil, errors.New("fleet: replica URLs must be non-empty and unique")
 		}
 		seen[base] = true
+		client := NewClient(base, cfg.UpstreamTimeout)
+		// All replica clients account into the router's shared wire
+		// counters instead of their private ones.
+		client.counters = &rt.met.wire
 		rt.replicas = append(rt.replicas, &replica{
 			base:   base,
-			client: NewClient(base, cfg.UpstreamTimeout),
+			client: client,
 			rtt: rt.met.reg.Histogram("reach_router_upstream_seconds",
 				"Round-trip latency of one routed call to a replica, as measured by the router.",
 				obs.Labels{"replica": base}),
@@ -377,6 +417,10 @@ func (rt *Router) probe(r *replica) {
 		GoVersion: hz.GoVersion, Revision: hz.Revision,
 	}
 	r.ident.Store(&id)
+	// Wire negotiation, re-decided at every probe: binary only when the
+	// router wants it AND the replica's healthz advertises it. A healthz
+	// without the capability (pre-binary build, or -wire=json) gets JSON.
+	r.client.UseBinaryWire(rt.cfg.Wire == WireBinary && slices.Contains(hz.Wire, "binary"))
 	r.consecFails = 0
 	r.nextProbe = time.Now().Add(rt.cfg.ProbeInterval)
 	if !rt.enroll(&id) {

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	reach "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// realOracle builds a small graph + DL oracle for wire tests.
+func realOracle(t *testing.T) (*reach.Graph, *reach.Oracle) {
+	t.Helper()
+	raw := gen.CitationDAG(400, 3, 0.5, 23)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, oracle
+}
+
+// startReplica serves one real replica over g/oracle and returns its base URL.
+func startReplica(t *testing.T, g *reach.Graph, oracle *reach.Oracle, cfg server.Config) string {
+	t.Helper()
+	s := server.New(g, oracle, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts.URL
+}
+
+// replicaStatsByBase indexes a router's stats rows by replica base URL.
+func replicaStatsByBase(t *testing.T, rt *Router) map[string]ReplicaStats {
+	t.Helper()
+	st := rt.Stats(context.Background())
+	out := make(map[string]ReplicaStats, len(st.Replicas))
+	for _, r := range st.Replicas {
+		out[r.Base] = r
+	}
+	return out
+}
+
+// TestWireNegotiationMixedFleet: a binary-capable replica and a
+// -wire=json one behind the same router. The router must speak binary to
+// the first, JSON to the second, report that split in its stats, and
+// still merge correct answers out of the mixed scatter.
+func TestWireNegotiationMixedFleet(t *testing.T) {
+	g, oracle := realOracle(t)
+	binBase := startReplica(t, g, oracle, server.Config{})
+	jsonBase := startReplica(t, g, oracle, server.Config{DisableBinaryWire: true})
+
+	cfg := silentCfg(binBase, jsonBase)
+	cfg.MinSubBatch = 16
+	rt := newTestRouter(t, cfg)
+
+	byBase := replicaStatsByBase(t, rt)
+	if got := byBase[binBase].Wire; got != WireBinary {
+		t.Fatalf("binary-capable replica negotiated %q, want %q", got, WireBinary)
+	}
+	if got := byBase[jsonBase].Wire; got != WireJSON {
+		t.Fatalf("-wire=json replica negotiated %q, want %q", got, WireJSON)
+	}
+
+	// Scatter enough pairs that both replicas serve sub-batches; repeat
+	// so power-of-two-choices is virtually certain to have used both.
+	rng := rand.New(rand.NewSource(5))
+	n := g.NumVertices()
+	for round := 0; round < 8; round++ {
+		pairs := make([][2]uint64, 200)
+		for i := range pairs {
+			pairs[i] = [2]uint64{uint64(rng.Intn(n)), uint64(rng.Intn(n))}
+		}
+		res, err := rt.Batch(context.Background(), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pairs {
+			if res[i] != oracle.Reachable(uint32(p[0]), uint32(p[1])) {
+				t.Fatalf("round %d: mixed-fleet batch result %d disagrees with oracle", round, i)
+			}
+		}
+	}
+	if rt.met.wire.framesBinary.Load() == 0 {
+		t.Fatal("mixed fleet routed no binary frames")
+	}
+	if rt.met.wire.framesJSON.Load() == 0 {
+		t.Fatal("mixed fleet routed no JSON batches")
+	}
+	if rt.met.wire.txBinary.Load() == 0 || rt.met.wire.rxBinary.Load() == 0 {
+		t.Fatalf("binary byte counters tx=%d rx=%d, want both positive",
+			rt.met.wire.txBinary.Load(), rt.met.wire.rxBinary.Load())
+	}
+}
+
+// TestWireJSONForcesJSONEverywhere: Config.Wire=WireJSON is the ablation
+// switch — binary-capable replicas still get JSON.
+func TestWireJSONForcesJSONEverywhere(t *testing.T) {
+	g, oracle := realOracle(t)
+	base := startReplica(t, g, oracle, server.Config{})
+	cfg := silentCfg(base)
+	cfg.Wire = WireJSON
+	rt := newTestRouter(t, cfg)
+
+	if got := replicaStatsByBase(t, rt)[base].Wire; got != WireJSON {
+		t.Fatalf("forced-JSON router negotiated %q", got)
+	}
+	if _, err := rt.Batch(context.Background(), [][2]uint64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.met.wire.framesBinary.Load(); got != 0 {
+		t.Fatalf("forced-JSON router sent %d binary frames", got)
+	}
+	if rt.met.wire.framesJSON.Load() == 0 {
+		t.Fatal("forced-JSON router sent no JSON batches")
+	}
+}
+
+// TestWireConfigRejected: an unknown Config.Wire value is a construction
+// error, not a silent default.
+func TestWireConfigRejected(t *testing.T) {
+	_, err := New(context.Background(), Config{Replicas: []string{"http://x"}, Wire: "protobuf"})
+	if err == nil {
+		t.Fatal("New accepted Wire=protobuf")
+	}
+}
+
+// TestClientDemotesOn415: a client that believes a replica speaks binary
+// (stale negotiation — the replica restarted with -wire=json between
+// probes) gets a 415, transparently retries as JSON, and stays JSON.
+func TestClientDemotesOn415(t *testing.T) {
+	g, oracle := realOracle(t)
+	base := startReplica(t, g, oracle, server.Config{DisableBinaryWire: true})
+	c := NewClient(base, time.Second)
+	c.UseBinaryWire(true)
+
+	res, err := c.Batch(context.Background(), [][2]uint64{{1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatalf("batch against stale-negotiated replica: %v", err)
+	}
+	if len(res) != 2 || res[0] != oracle.Reachable(1, 2) || res[1] != oracle.Reachable(2, 1) {
+		t.Fatalf("fallback batch answered %v", res)
+	}
+	if c.BinaryWire() {
+		t.Fatal("client still believes the replica speaks binary after a 415")
+	}
+	if c.counters.framesBinary.Load() != 1 || c.counters.framesJSON.Load() != 1 {
+		t.Fatalf("counters binary=%d json=%d, want 1 and 1 (one rejected frame, one JSON retry)",
+			c.counters.framesBinary.Load(), c.counters.framesJSON.Load())
+	}
+}
+
+// TestClientWideIDsFallBackToJSON: vertex IDs beyond uint32 cannot ride
+// the binary frame; those batches silently take the JSON path per batch
+// without demoting the connection.
+func TestClientWideIDsFallBackToJSON(t *testing.T) {
+	raw := gen.CitationDAG(50, 2, 0.5, 3)
+	edges := make([][2]uint32, 0, raw.NumEdges())
+	raw.Edges(func(u, v graph.Vertex) bool {
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		return true
+	})
+	g, err := reach.NewGraph(raw.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := reach.Build(g, reach.MethodDL, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original-ID mode with one ID off the uint32 end of the space.
+	wide := int64(math.MaxUint32) + 7
+	orig := make([]int64, g.NumVertices())
+	for i := range orig {
+		orig[i] = int64(i)
+	}
+	orig[1] = wide
+	base := startReplica(t, g, oracle, server.Config{OrigIDs: orig})
+	c := NewClient(base, time.Second)
+	c.UseBinaryWire(true)
+
+	res, err := c.Batch(context.Background(), [][2]uint64{{uint64(wide), 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != oracle.Reachable(1, 2) || res[1] != oracle.Reachable(0, 2) {
+		t.Fatalf("wide-ID batch answered %v", res)
+	}
+	if !c.BinaryWire() {
+		t.Fatal("wide-ID fallback must not demote the client: the replica does speak binary")
+	}
+	if c.counters.framesBinary.Load() != 0 || c.counters.framesJSON.Load() != 1 {
+		t.Fatalf("counters binary=%d json=%d, want 0 and 1",
+			c.counters.framesBinary.Load(), c.counters.framesJSON.Load())
+	}
+
+	// A batch whose IDs all fit goes binary against the same replica.
+	if _, err := c.Batch(context.Background(), [][2]uint64{{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.counters.framesBinary.Load() != 1 {
+		t.Fatalf("narrow batch after wide one did not go binary (binary=%d)", c.counters.framesBinary.Load())
+	}
+}
+
+// TestClientBinaryErrorFrame: a binary-mode error (batch over the
+// replica's limit) comes back as a wireproto error frame and surfaces as
+// the same *StatusError the JSON path produces.
+func TestClientBinaryErrorFrame(t *testing.T) {
+	g, oracle := realOracle(t)
+	base := startReplica(t, g, oracle, server.Config{MaxBatchPairs: 4})
+	c := NewClient(base, time.Second)
+	c.UseBinaryWire(true)
+
+	pairs := make([][2]uint64, 10)
+	_, err := c.Batch(context.Background(), pairs)
+	se, ok := err.(*StatusError)
+	if !ok {
+		t.Fatalf("over-limit binary batch returned %v, want *StatusError", err)
+	}
+	if se.Status != 413 || se.Body == "" {
+		t.Fatalf("status error %+v, want 413 with the frame's in-band message", se)
+	}
+}

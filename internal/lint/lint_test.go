@@ -33,7 +33,7 @@ func TestHotPathAlloc(t *testing.T) {
 }
 
 func TestWireWidth(t *testing.T) {
-	leftover := analysistest.Run(t, testdataDir(t), lint.WireWidth, "wirewidth")
+	leftover := analysistest.Run(t, testdataDir(t), lint.WireWidth, "wirewidth", "repro/internal/wireproto")
 	if len(leftover) != 0 {
 		t.Errorf("diagnostics outside fixtures: %v", leftover)
 	}

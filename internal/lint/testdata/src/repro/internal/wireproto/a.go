@@ -1,0 +1,25 @@
+// Package wireproto is a wirewidth fixture: every file in the real
+// repro/internal/wireproto is codec scope by package path, so a
+// platform-width marshal or a varint is flagged without any directive
+// or codec.go filename.
+package wireproto
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func encodeCount(w io.Writer, n int) error {
+	return binary.Write(w, binary.LittleEndian, n) // want `binary.Write data contains platform-width int; marshal a fixed-width type instead`
+}
+
+func encodeVar(buf []byte, n uint64) int {
+	return binary.PutUvarint(buf, n) // want `binary.PutUvarint is variable-width; the snapshot format is fixed-width little-endian blocks`
+}
+
+// encodeFixed is the shape the package is allowed to take: fixed-width
+// little-endian fields only.
+func encodeFixed(buf []byte, u, v uint32) {
+	binary.LittleEndian.PutUint32(buf[0:4], u)
+	binary.LittleEndian.PutUint32(buf[4:8], v)
+}

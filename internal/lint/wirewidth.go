@@ -44,7 +44,12 @@ var varintFuncs = map[string]bool{
 }
 
 func runWireWidth(pass *analysis.Pass) error {
-	pkgScope := pkgIs(pass.Pkg.Path(), "internal/snapshot") || pkgIs(pass.Pkg.Path(), "internal/blockio")
+	// internal/wireproto is in scope for the same reason the snapshot
+	// codecs are: its frames are fixed-width little-endian on the network,
+	// where a platform-width field would be a silent protocol fork.
+	pkgScope := pkgIs(pass.Pkg.Path(), "internal/snapshot") ||
+		pkgIs(pass.Pkg.Path(), "internal/blockio") ||
+		pkgIs(pass.Pkg.Path(), "internal/wireproto")
 	for _, file := range pass.Files {
 		fileScope := pkgScope || filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "codec.go"
 

@@ -79,25 +79,23 @@ func shardLayout(shards, capacity int) (pow int, caps []int) {
 
 func pairKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
 
-// fnvIndex hashes the packed key with FNV-1a; the low bits pick a shard.
-func fnvIndex(k uint64, mask uint32) uint32 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < 8; i++ {
-		h ^= k & 0xff
-		h *= prime64
-		k >>= 8
-	}
-	return uint32(h) & mask
+// shardIndex mixes the packed key (Murmur3's 64-bit finalizer: full
+// avalanche, so dense nearby pair keys still spread) and keeps the low
+// bits as the shard index. Two multiplies flat, against the eight-round
+// byte loop of the FNV-1a it replaced — the hash runs once per query on
+// the hot path, where the loop showed up on profiles.
+func shardIndex(k uint64, mask uint32) uint32 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return uint32(k) & mask
 }
 
 // fifoCache is a sharded, fixed-capacity map from query pair to answer.
-// Shard selection is by FNV-1a hash of the packed pair so hot vertices
-// spread across shards; within a shard, eviction is FIFO via a ring of
-// inserted keys.
+// Shard selection hashes the packed pair so hot vertices spread across
+// shards; within a shard, eviction is FIFO via a ring of inserted keys.
 type fifoCache struct {
 	shards []fifoShard
 	mask   uint32
@@ -123,7 +121,9 @@ func newFIFOCache(shards, capacity int) *fifoCache {
 	c := &fifoCache{shards: make([]fifoShard, pow), mask: uint32(pow - 1)}
 	for i := range c.shards {
 		c.shards[i].cap = caps[i]
-		c.shards[i].m = make(map[uint64]bool, caps[i])
+		// Sized lazily for the same reason as s3fifoShard.m: a
+		// capacity-sized table keeps small working sets DRAM-sparse.
+		c.shards[i].m = make(map[uint64]bool)
 		c.shards[i].ring = make([]uint64, 0, caps[i])
 	}
 	return c
@@ -135,7 +135,7 @@ func newFIFOCache(shards, capacity int) *fifoCache {
 //reach:hotpath
 func (c *fifoCache) get(u, v uint32) (answer, ok bool) {
 	k := pairKey(u, v)
-	sh := &c.shards[fnvIndex(k, c.mask)]
+	sh := &c.shards[shardIndex(k, c.mask)]
 	sh.mu.Lock()
 	answer, ok = sh.m[k]
 	if ok {
@@ -151,7 +151,7 @@ func (c *fifoCache) get(u, v uint32) (answer, ok bool) {
 // once the shard is full.
 func (c *fifoCache) put(u, v uint32, answer bool) {
 	k := pairKey(u, v)
-	sh := &c.shards[fnvIndex(k, c.mask)]
+	sh := &c.shards[shardIndex(k, c.mask)]
 	sh.mu.Lock()
 	if _, exists := sh.m[k]; !exists {
 		// shardLayout guarantees cap >= 1, so the ring is never empty

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -143,9 +144,12 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 				// requests complete in well under a second unless the
 				// server is badly oversubscribed.
 				w.Header().Set("Retry-After", "1")
-				s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
-					Error: fmt.Sprintf("server at max in-flight requests (%d); retry later", s.cfg.MaxInFlight),
-				})
+				msg := fmt.Sprintf("server at max in-flight requests (%d); retry later", s.cfg.MaxInFlight)
+				if isBinaryBatch(r) {
+					s.writeErrorFrame(w, http.StatusTooManyRequests, msg)
+					return
+				}
+				s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: msg})
 				return
 			}
 		}
@@ -214,6 +218,14 @@ func (s *Server) failUnknownVertex(w http.ResponseWriter, bad uint64) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	bi := obs.BuildInfo()
+	// Wire advertises the batch encodings this replica accepts; routers
+	// read it once at enrollment. With the binary path disabled the field
+	// is omitted entirely, which is exactly what a pre-binary replica
+	// sends — one "JSON only" signal, not two.
+	var wire []string
+	if !s.cfg.DisableBinaryWire {
+		wire = []string{"json", "binary"}
+	}
 	s.writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:        "ok",
 		Method:        s.oracle.Method(),
@@ -223,6 +235,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		GoVersion:     bi.GoVersion,
 		Revision:      bi.Revision,
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Wire:          wire,
 	})
 }
 
@@ -259,6 +272,7 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	}
 	var cs chunkStats
 	ans, cached := s.reachable(du, dv, &cs)
+	s.met.recordChunk(&cs)
 	tr.qt.add(&cs)
 	done(http.StatusOK)
 	s.writeJSON(w, http.StatusOK, ReachableResponse{
@@ -267,6 +281,17 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if isBinaryBatch(r) {
+		s.handleBatchBinary(w, r)
+		return
+	}
+	s.met.wireFramesJSON.Add(1)
+	// Count JSON batch traffic the same way the binary path does, so the
+	// reach_wire_bytes_total series compare like for like: rx is body
+	// bytes actually read, tx is response-body bytes written.
+	origW := w
+	cw := &countingResponseWriter{ResponseWriter: w}
+	w = cw
 	tr := s.startTrace(w, r)
 	done := func(pairs, status int) { s.finishTrace(w, tr, s.met.reqBatch, "batch", pairs, status) }
 	// Cap body bytes before decoding so MaxBatchPairs bounds memory, not
@@ -275,9 +300,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// covers it, so any compact batch within the pair-count limit also
 	// fits the byte cap. Whitespace-heavy encodings (MarshalIndent) can
 	// trip it earlier — the 413 body names the byte limit for that case.
-	body := http.MaxBytesReader(w, r.Body, 48*int64(s.cfg.MaxBatchPairs)+4096)
+	// MaxBytesReader gets the unwrapped writer so its too-large handling
+	// still reaches the real connection.
+	body := http.MaxBytesReader(origW, r.Body, 48*int64(s.cfg.MaxBatchPairs)+4096)
+	cr := &countingReader{r: body}
+	defer func() {
+		s.met.wireRxJSON.Add(cr.n)
+		s.met.wireTxJSON.Add(cw.n)
+	}()
 	var req BatchRequest
-	dec := json.NewDecoder(body)
+	dec := json.NewDecoder(cr)
 	dec.DisallowUnknownFields()
 	err := dec.Decode(&req)
 	tr.decode = time.Since(tr.start)
@@ -344,4 +376,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// countingReader tallies bytes actually read from the request body, for
+// the reach_wire_bytes_total{direction="rx"} accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingResponseWriter tallies response-body bytes for the
+// reach_wire_bytes_total{direction="tx"} accounting.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
 }

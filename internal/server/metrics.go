@@ -23,6 +23,16 @@ type metrics struct {
 	rejected      atomic.Int64 // 429s from the max-in-flight gate (not in errors)
 	timedOut      atomic.Int64 // requests abandoned at their deadline (also in errors)
 
+	// Wire-level batch traffic accounting, split by encoding so a -wire
+	// ablation (or a mixed fleet) shows up directly in /metrics. rx is
+	// request-body bytes read, tx response-body bytes written.
+	wireFramesJSON   atomic.Int64
+	wireFramesBinary atomic.Int64
+	wireRxJSON       atomic.Int64
+	wireTxJSON       atomic.Int64
+	wireRxBinary     atomic.Int64
+	wireTxBinary     atomic.Int64
+
 	reg *obs.Registry
 	// Request-level histograms, one per query endpoint.
 	reqReachable *obs.Histogram
@@ -59,6 +69,18 @@ func newMetrics() *metrics {
 	m.reg.CounterFunc("reach_errors_total", "Requests answered 4xx/5xx.", nil, m.errors.Load)
 	m.reg.CounterFunc("reach_rejected_total", "Requests shed with 429 by the max-in-flight gate.", nil, m.rejected.Load)
 	m.reg.CounterFunc("reach_timed_out_total", "Requests abandoned at their deadline.", nil, m.timedOut.Load)
+	m.reg.CounterFunc("reach_wire_frames_total", "Batch frames handled on /v1/batch, by encoding.",
+		obs.Labels{"encoding": "json"}, m.wireFramesJSON.Load)
+	m.reg.CounterFunc("reach_wire_frames_total", "Batch frames handled on /v1/batch, by encoding.",
+		obs.Labels{"encoding": "binary"}, m.wireFramesBinary.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes on /v1/batch, by direction (rx = requests read, tx = responses written) and encoding.",
+		obs.Labels{"direction": "rx", "encoding": "json"}, m.wireRxJSON.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes on /v1/batch, by direction (rx = requests read, tx = responses written) and encoding.",
+		obs.Labels{"direction": "tx", "encoding": "json"}, m.wireTxJSON.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes on /v1/batch, by direction (rx = requests read, tx = responses written) and encoding.",
+		obs.Labels{"direction": "rx", "encoding": "binary"}, m.wireRxBinary.Load)
+	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes on /v1/batch, by direction (rx = requests read, tx = responses written) and encoding.",
+		obs.Labels{"direction": "tx", "encoding": "binary"}, m.wireTxBinary.Load)
 	// m.slow is assigned after newMetrics returns; the closure (unlike a
 	// method value) picks up the final pointer at scrape time.
 	m.reg.CounterFunc("reach_slow_queries_total", "Requests recorded in the slow-query log.", nil,
@@ -109,13 +131,13 @@ func (m *metrics) registerServer(s *Server) {
 }
 
 // record tallies one answered pair-query.
-func (m *metrics) record(reachable bool) {
-	m.queries.Add(1)
-	if reachable {
-		m.positive.Add(1)
-	} else {
-		m.negative.Add(1)
-	}
+// recordChunk folds one chunk's (or one single query's) local query
+// counters into the server-wide atomics in one shot, keeping atomic
+// traffic out of the per-pair loop.
+func (m *metrics) recordChunk(cs *chunkStats) {
+	m.queries.Add(cs.queries)
+	m.positive.Add(cs.positive)
+	m.negative.Add(cs.queries - cs.positive)
 }
 
 // ServerStats is the server section of /v1/stats.

@@ -111,10 +111,16 @@ func newS3FIFOCache(shards, capacity int) *s3fifoCache {
 		if ghostCap == 0 {
 			ghostCap = 1
 		}
-		sh.m = make(map[uint64]s3entry, caps[i])
+		// Sized lazily, NOT pre-sized to capacity: a capacity hint
+		// spreads a small working set over a worst-case table (~10 MiB
+		// across shards at the defaults), turning every hit into a DRAM
+		// stall — profiled at ~23% of the batch hot path. Growing on
+		// demand keeps small working sets cache-resident and costs only
+		// amortized incremental rehashes on the fill path.
+		sh.m = make(map[uint64]s3entry)
 		sh.small = newKeyRing(sh.smallCap)
 		sh.main = newKeyRing(sh.mainCap)
-		sh.ghost = make(map[uint64]uint64, ghostCap)
+		sh.ghost = make(map[uint64]uint64)
 		sh.ghostFIFO = newKeyRing(ghostCap)
 		sh.ghostSeqs = newKeyRing(ghostCap)
 	}
@@ -124,7 +130,7 @@ func newS3FIFOCache(shards, capacity int) *s3fifoCache {
 //reach:hotpath
 func (c *s3fifoCache) get(u, v uint32) (answer, ok bool) {
 	k := pairKey(u, v)
-	sh := &c.shards[fnvIndex(k, c.mask)]
+	sh := &c.shards[shardIndex(k, c.mask)]
 	sh.mu.Lock()
 	e, ok := sh.m[k]
 	if ok {
@@ -143,7 +149,7 @@ func (c *s3fifoCache) get(u, v uint32) (answer, ok bool) {
 
 func (c *s3fifoCache) put(u, v uint32, answer bool) {
 	k := pairKey(u, v)
-	sh := &c.shards[fnvIndex(k, c.mask)]
+	sh := &c.shards[shardIndex(k, c.mask)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.m[k]; ok {

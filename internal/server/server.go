@@ -71,6 +71,12 @@ type Config struct {
 	// Handler mux. Off by default: profiling endpoints are an
 	// operational tool, not part of the query API.
 	EnablePprof bool
+	// DisableBinaryWire turns off the binary batch protocol on
+	// /v1/batch: binary frames are answered with 415, and /v1/healthz
+	// stops advertising the "wire" capability (making the replica
+	// indistinguishable from a pre-binary one, so routers send it JSON).
+	// Operational escape hatch — see docs/WIRE.md.
+	DisableBinaryWire bool
 }
 
 func (c Config) withDefaults() Config {
@@ -237,9 +243,12 @@ type queryTrace struct {
 }
 
 // chunkStats is one chunk's (or one single query's) local accumulator,
-// folded into the request's queryTrace when the chunk finishes.
+// folded into the request's queryTrace and the server counters when the
+// chunk finishes. Batching the fold keeps the per-pair loop free of
+// atomic traffic: three atomic adds per chunk instead of two per pair.
 type chunkStats struct {
 	cacheNs, probeNs, cacheHits int64
+	queries, positive           int64
 }
 
 func (t *queryTrace) add(cs *chunkStats) {
@@ -257,33 +266,62 @@ func (t *queryTrace) add(cs *chunkStats) {
 // entirely: their garbage keys would pollute it and evict real entries.
 func (s *Server) Reachable(u, v uint32) (reachable, cached bool) {
 	var cs chunkStats
-	return s.reachable(u, v, &cs)
+	reachable, cached = s.reachable(u, v, &cs)
+	s.met.recordChunk(&cs)
+	return reachable, cached
 }
 
+// stageSampleEvery is the per-pair stage-timing sample interval: pair
+// 0, 16, 32, ... of each chunk pays the clock reads and histogram
+// records, the rest skip them. Two time.Now calls per pair were ~20%
+// of the batch hot path on the profile; sampling keeps the
+// cache_lookup/index_probe histograms and the Server-Timing stage
+// attribution (scaled back up, so they are estimates) at a sixteenth
+// of the cost. Single queries start a fresh accumulator, land on phase
+// zero, and therefore are always timed exactly. A power of two keeps
+// the phase check a mask.
+const stageSampleEvery = 16
+
 // reachable is the per-pair hot path: cache lookup then index probe,
-// each timed into its stage histogram and summed into cs.
+// sampled into the stage histograms and summed into cs.
 func (s *Server) reachable(u, v uint32, cs *chunkStats) (reachable, cached bool) {
 	if u == unknownVertex || v == unknownVertex {
-		s.met.record(false)
+		cs.queries++
 		return false, false
 	}
+	sample := cs.queries&(stageSampleEvery-1) == 0
+	cs.queries++
 	if s.cache != nil {
-		t0 := time.Now()
+		var t0 time.Time
+		if sample {
+			t0 = time.Now()
+		}
 		ans, ok := s.cache.get(u, v)
-		cs.cacheNs += int64(s.met.cacheDur.RecordSince(t0))
+		if sample {
+			cs.cacheNs += int64(s.met.cacheDur.RecordSince(t0)) * stageSampleEvery
+		}
 		if ok {
 			cs.cacheHits++
-			s.met.record(ans)
+			if ans {
+				cs.positive++
+			}
 			return ans, true
 		}
 	}
-	t0 := time.Now()
+	var t0 time.Time
+	if sample {
+		t0 = time.Now()
+	}
 	ans := s.oracle.Reachable(u, v)
-	cs.probeNs += int64(s.met.probeDur.RecordSince(t0))
+	if sample {
+		cs.probeNs += int64(s.met.probeDur.RecordSince(t0)) * stageSampleEvery
+	}
 	if s.cache != nil {
 		s.cache.put(u, v, ans)
 	}
-	s.met.record(ans)
+	if ans {
+		cs.positive++
+	}
 	return ans, false
 }
 
@@ -300,14 +338,25 @@ func (s *Server) ReachableBatch(ctx context.Context, pairs [][2]uint32) ([]bool,
 // reachableBatch is ReachableBatch with a per-request trace accumulator
 // (nil when the caller doesn't want stage attribution).
 func (s *Server) reachableBatch(ctx context.Context, pairs [][2]uint32, tr *queryTrace) ([]bool, error) {
-	if err := ctx.Err(); err != nil {
+	out := make([]bool, len(pairs))
+	if err := s.reachableBatchInto(ctx, pairs, out, tr); err != nil {
 		return nil, err
 	}
-	out := make([]bool, len(pairs))
+	return out, nil
+}
+
+// reachableBatchInto is reachableBatch filling a caller-provided result
+// slice (len(out) must equal len(pairs)) — the binary wire path reuses
+// pooled buffers across requests, so the allocation is the caller's
+// choice, not this function's.
+func (s *Server) reachableBatchInto(ctx context.Context, pairs [][2]uint32, out []bool, tr *queryTrace) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	chunk := s.cfg.BatchChunk
 	if len(pairs) <= chunk {
 		s.runChunk(pairs, out, tr)
-		return out, nil
+		return nil
 	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(pairs); lo += chunk {
@@ -331,10 +380,7 @@ func (s *Server) reachableBatch(ctx context.Context, pairs [][2]uint32, tr *quer
 		}
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return ctx.Err()
 }
 
 // runChunk answers one contiguous chunk, timing the whole dispatch into
@@ -347,6 +393,7 @@ func (s *Server) runChunk(pairs [][2]uint32, out []bool, tr *queryTrace) {
 		out[i], _ = s.reachable(p[0], p[1], &cs)
 	}
 	s.met.chunkDur.RecordSince(t0)
+	s.met.recordChunk(&cs)
 	tr.add(&cs)
 }
 

@@ -1,0 +1,111 @@
+package wireproto
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// jsonBatchRequest/jsonBatchResponse mirror the server package's JSON
+// wire shapes (importing internal/server here would be an import cycle
+// once the server speaks this protocol).
+type jsonBatchRequest struct {
+	Pairs [][2]uint64 `json:"pairs"`
+}
+
+type jsonBatchResponse struct {
+	Count   int    `json:"count"`
+	Results []bool `json:"results"`
+}
+
+const benchBatch = 512
+
+// BenchmarkWireBatch is the codec-level hot path, gated by the CI perf
+// regression gate: encode+decode of one 512-pair request and its
+// response, exactly the per-sub-batch work a router and replica pay on
+// the binary path. Zero allocs/op on every sub-benchmark.
+func BenchmarkWireBatch(b *testing.B) {
+	pairs := testPairs(benchBatch)
+	results := testResults(benchBatch)
+	reqBuf := make([]byte, RequestSize(benchBatch))
+	respBuf := make([]byte, ResponseSize(benchBatch))
+	decPairs := make([][2]uint32, benchBatch)
+	decResults := make([]bool, benchBatch)
+	reqLen := EncodeRequest(reqBuf, pairs)
+	respLen := EncodeResponse(respBuf, results)
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(reqLen + respLen))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodeRequest(reqBuf, pairs)
+			EncodeResponse(respBuf, results)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(reqLen + respLen))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := RequestCount(reqBuf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := DecodeRequest(reqBuf, decPairs[:n]); err != nil {
+				b.Fatal(err)
+			}
+			m, err := ResponseCount(respBuf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := DecodeResponse(respBuf, decResults[:m]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireBatchJSON is the same 512-pair batch through
+// encoding/json — the ablation baseline the binary protocol replaces.
+// Not gated: the stdlib's speed is not this repo's regression to catch.
+func BenchmarkWireBatchJSON(b *testing.B) {
+	pairs32 := testPairs(benchBatch)
+	pairs := make([][2]uint64, benchBatch)
+	for i, p := range pairs32 {
+		pairs[i] = [2]uint64{uint64(p[0]), uint64(p[1])}
+	}
+	results := testResults(benchBatch)
+	reqBody, err := json.Marshal(jsonBatchRequest{Pairs: pairs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	respBody, err := json.Marshal(jsonBatchResponse{Count: benchBatch, Results: results})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(reqBody) + len(respBody)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(jsonBatchRequest{Pairs: pairs}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := json.Marshal(jsonBatchResponse{Count: benchBatch, Results: results}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(reqBody) + len(respBody)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var req jsonBatchRequest
+			if err := json.Unmarshal(reqBody, &req); err != nil {
+				b.Fatal(err)
+			}
+			var resp jsonBatchResponse
+			if err := json.Unmarshal(respBody, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

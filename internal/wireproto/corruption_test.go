@@ -1,0 +1,112 @@
+package wireproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// decodeAny runs every decoder over frame the way a receiver would,
+// returning whether any of them accepted it. Used by the fuzzer and the
+// deterministic corruption sweep: the only requirement on hostile input
+// is "error out, never panic, and stay self-consistent".
+func decodeAny(t testing.TB, frame []byte) {
+	t.Helper()
+	if n, err := RequestCount(frame); err == nil {
+		pairs := make([][2]uint32, n)
+		if err := DecodeRequest(frame, pairs); err != nil {
+			t.Fatalf("RequestCount accepted a frame DecodeRequest rejects: %v", err)
+		}
+		re := make([]byte, RequestSize(n))
+		if EncodeRequest(re, pairs); !bytes.Equal(re, frame) {
+			t.Fatalf("request round trip not byte-identical:\n got %x\nwant %x", re, frame)
+		}
+	}
+	if n, err := ResponseCount(frame); err == nil {
+		results := make([]bool, n)
+		if err := DecodeResponse(frame, results); err != nil {
+			t.Fatalf("ResponseCount accepted a frame DecodeResponse rejects: %v", err)
+		}
+		re := make([]byte, ResponseSize(n))
+		if EncodeResponse(re, results); !bytes.Equal(re, frame) {
+			t.Fatalf("response round trip not byte-identical:\n got %x\nwant %x", re, frame)
+		}
+	}
+	if status, msg, err := DecodeError(frame); err == nil {
+		re := make([]byte, ErrorSize(len(msg)))
+		if EncodeError(re, status, msg); !bytes.Equal(re, frame) {
+			t.Fatalf("error round trip not byte-identical:\n got %x\nwant %x", re, frame)
+		}
+	}
+	IsError(frame)
+	ParseHeader(frame)
+}
+
+// seedFrames builds one valid frame of each kind, the same trio the
+// checked-in fuzz corpus and the corruption sweep mutate.
+func seedFrames() [][]byte {
+	req := make([]byte, RequestSize(3))
+	EncodeRequest(req, [][2]uint32{{0, 3}, {7, 2}, {1 << 20, 5}})
+	resp := make([]byte, ResponseSize(67)) // crosses a word boundary
+	results := make([]bool, 67)
+	for i := range results {
+		results[i] = i%3 == 0
+	}
+	EncodeResponse(resp, results)
+	errf := make([]byte, ErrorSize(len("replica overloaded")))
+	EncodeError(errf, 429, "replica overloaded")
+	return [][]byte{req, resp, errf}
+}
+
+// TestWireCorruptionReturnsErrors mirrors the snapshot corruption
+// tests: every truncation of every valid frame kind must decode to an
+// error, and every single-bit flip must either decode to an error or
+// yield values that re-encode to exactly the mutated bytes (flips in
+// pair/result payload change data, not framing — that is the
+// application's checksum problem, not the codec's).
+func TestWireCorruptionReturnsErrors(t *testing.T) {
+	for _, frame := range seedFrames() {
+		for cut := 0; cut < len(frame); cut++ {
+			trunc := frame[:cut]
+			// No truncation of these seeds can be a valid shorter frame:
+			// the header still declares the full count, so the length
+			// check fails before any payload is trusted.
+			if _, err := RequestCount(trunc); err == nil {
+				t.Fatalf("truncation to %d bytes decoded as a request", cut)
+			}
+			if _, err := ResponseCount(trunc); err == nil {
+				t.Fatalf("truncation to %d bytes decoded as a response", cut)
+			}
+			if _, _, err := DecodeError(trunc); err == nil {
+				t.Fatalf("truncation to %d bytes decoded as an error frame", cut)
+			}
+			decodeAny(t, trunc)
+		}
+		for off := 0; off < len(frame); off++ {
+			for _, bit := range []byte{0x01, 0x80} {
+				mut := bytes.Clone(frame)
+				mut[off] ^= bit
+				decodeAny(t, mut)
+			}
+		}
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder. The invariant
+// is decodeAny's: no panic on any input, and any accepted frame must
+// re-encode byte-identically (so the decoders can never "repair"
+// hostile input into something the encoders would not produce).
+func FuzzWireDecode(f *testing.F) {
+	for _, frame := range seedFrames() {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+		f.Add(frame[:len(frame)-1])
+		flipped := bytes.Clone(frame)
+		flipped[4] ^= 0x02 // undefined flag bit
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RWB"))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		decodeAny(t, frame)
+	})
+}

@@ -1,0 +1,156 @@
+package wireproto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+const specPath = "../../docs/WIRE.md"
+
+// specFrames extracts the example frames from docs/WIRE.md. A frame
+// block is a fenced code block whose info string is "frame:<name>";
+// inside it, each line's leading whitespace-separated two-hex-digit
+// tokens are frame bytes and everything from the first non-hex token on
+// is commentary.
+func specFrames(t *testing.T) map[string][]byte {
+	t.Helper()
+	f, err := os.Open(specPath)
+	if err != nil {
+		t.Fatalf("reading the wire spec: %v", err)
+	}
+	defer f.Close()
+
+	frames := make(map[string][]byte)
+	var name string // current block, "" outside one
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case name == "" && strings.HasPrefix(line, "```frame:"):
+			name = strings.TrimPrefix(line, "```frame:")
+			if _, dup := frames[name]; dup {
+				t.Fatalf("duplicate example frame %q in %s", name, specPath)
+			}
+			frames[name] = nil
+		case name != "" && strings.HasPrefix(line, "```"):
+			name = ""
+		case name != "":
+			for _, tok := range strings.Fields(line) {
+				var b byte
+				if len(tok) != 2 {
+					break
+				}
+				if _, err := fmt.Sscanf(tok, "%02x", &b); err != nil {
+					break
+				}
+				frames[name] = append(frames[name], b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Fatalf("unterminated frame block %q in %s", name, specPath)
+	}
+	return frames
+}
+
+// TestWireSpecInSync round-trips every example frame documented in
+// docs/WIRE.md through the real codec: the documented bytes must be
+// exactly what the encoder produces for the documented meaning, and
+// the decoder must read the documented meaning back out. Editing the
+// spec or the codec without the other fails here.
+func TestWireSpecInSync(t *testing.T) {
+	frames := specFrames(t)
+
+	check := func(name string, want []byte, encode func(buf []byte) int) []byte {
+		t.Helper()
+		doc, ok := frames[name]
+		if !ok {
+			t.Fatalf("spec has no ```frame:%s example", name)
+		}
+		got := make([]byte, len(want))
+		if n := encode(got); n != len(want) {
+			t.Fatalf("%s: encoder wrote %d bytes, spec documents %d", name, n, len(want))
+		}
+		if !bytes.Equal(got, doc) {
+			t.Fatalf("%s: spec and codec disagree\n spec:  %x\n codec: %x", name, doc, got)
+		}
+		delete(frames, name)
+		return doc
+	}
+
+	reqPairs := [][2]uint32{{0, 3}, {7, 2}, {5, 5}}
+	doc := check("request", make([]byte, RequestSize(3)), func(buf []byte) int {
+		return EncodeRequest(buf, reqPairs)
+	})
+	n, err := RequestCount(doc)
+	if err != nil || n != len(reqPairs) {
+		t.Fatalf("request: RequestCount = %d, %v", n, err)
+	}
+	dec := make([][2]uint32, n)
+	if err := DecodeRequest(doc, dec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqPairs {
+		if dec[i] != reqPairs[i] {
+			t.Fatalf("request: pair %d decodes to %v, spec documents %v", i, dec[i], reqPairs[i])
+		}
+	}
+
+	check("request-empty", make([]byte, RequestSize(0)), func(buf []byte) int {
+		return EncodeRequest(buf, nil)
+	})
+
+	respResults := []bool{true, false, true}
+	doc = check("response", make([]byte, ResponseSize(3)), func(buf []byte) int {
+		return EncodeResponse(buf, respResults)
+	})
+	if n, err := ResponseCount(doc); err != nil || n != 3 {
+		t.Fatalf("response: ResponseCount = %d, %v", n, err)
+	}
+	got3 := make([]bool, 3)
+	if err := DecodeResponse(doc, got3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range respResults {
+		if got3[i] != respResults[i] {
+			t.Fatalf("response: result %d decodes to %v, spec documents %v", i, got3[i], respResults[i])
+		}
+	}
+
+	multi := make([]bool, 65)
+	multi[0], multi[64] = true, true
+	doc = check("response-multiword", make([]byte, ResponseSize(65)), func(buf []byte) int {
+		return EncodeResponse(buf, multi)
+	})
+	got65 := make([]bool, 65)
+	if err := DecodeResponse(doc, got65); err != nil {
+		t.Fatal(err)
+	}
+	for i := range multi {
+		if got65[i] != multi[i] {
+			t.Fatalf("response-multiword: result %d decodes to %v, spec documents %v", i, got65[i], multi[i])
+		}
+	}
+
+	const errStatus, errMsg = 429, "replica overloaded"
+	doc = check("error", make([]byte, ErrorSize(len(errMsg))), func(buf []byte) int {
+		return EncodeError(buf, errStatus, errMsg)
+	})
+	status, msg, err := DecodeError(doc)
+	if err != nil || status != errStatus || msg != errMsg {
+		t.Fatalf("error: DecodeError = (%d, %q, %v), spec documents (%d, %q)", status, msg, err, errStatus, errMsg)
+	}
+
+	// Every example in the spec must be exercised above — an example
+	// this test does not know about is an example nothing keeps honest.
+	for name := range frames {
+		t.Errorf("spec documents ```frame:%s but TestWireSpecInSync does not verify it", name)
+	}
+}

@@ -40,8 +40,14 @@ echo "== single-node ground truth (reachcli builds the index and saves the fleet
 grep -cq true "$WORK/expected.txt" || { echo "sweep has no reachable pairs — not a meaningful test"; exit 1; }
 
 echo "== start 3 replicas (each mmap-loads the one snapshot) + the router"
+# Replica :${REPLICA_PORTS[1]} runs -wire=json (it survives the SIGKILL
+# below), so the sweep also proves the router's per-replica encoding
+# negotiation: a mixed fleet serves binary and JSON sub-batches side by
+# side and still answers exactly like single-node reachcli.
 for port in "${REPLICA_PORTS[@]}"; do
-  "$BIN/reachd" -snapshot "$WORK/g.snap" -addr "127.0.0.1:$port" \
+  WIRE_FLAG=binary
+  if [ "$port" = "${REPLICA_PORTS[1]}" ]; then WIRE_FLAG=json; fi
+  "$BIN/reachd" -snapshot "$WORK/g.snap" -addr "127.0.0.1:$port" -wire "$WIRE_FLAG" \
     > "$WORK/reachd-$port.log" 2>&1 &
   PIDS+=($!)
 done
@@ -62,6 +68,16 @@ for i in $(seq 1 150); do
 done
 curl -fsS "http://$ROUTER_ADDR/v1/healthz"; echo
 
+echo "== wire negotiation: binary to capable replicas, JSON to the -wire=json one"
+curl -fsS "http://$ROUTER_ADDR/v1/stats" > "$WORK/stats0.json"
+grep -qE "\"base\":\"http://127\.0\.0\.1:${REPLICA_PORTS[1]}\"[^{}]*\"wire\":\"json\"" "$WORK/stats0.json" \
+  || { echo "-wire=json replica not negotiated down to JSON"; cat "$WORK/stats0.json"; exit 1; }
+for port in "${REPLICA_PORTS[0]}" "${REPLICA_PORTS[2]}"; do
+  grep -qE "\"base\":\"http://127\.0\.0\.1:$port\"[^{}]*\"wire\":\"binary\"" "$WORK/stats0.json" \
+    || { echo "binary-capable replica :$port not negotiated to binary"; cat "$WORK/stats0.json"; exit 1; }
+done
+echo "   stats: 2 replicas on binary frames, 1 on JSON"
+
 echo "== sweep through the router, SIGKILLing replica :${REPLICA_PORTS[0]} at query 120"
 : > "$WORK/got.txt"
 n=0
@@ -80,18 +96,24 @@ echo "== diff sweep answers against single-node reachcli"
 diff "$WORK/expected.txt" "$WORK/got.txt"
 echo "   sweep identical across router failover ($(wc -l < "$WORK/got.txt") queries)"
 
-echo "== full 240-pair batch through the degraded (2/3) fleet"
+echo "== full 240-pair batch through the degraded (2/3) fleet, 5 rounds"
+# Five rounds so the mixed fleet provably scatters sub-batches over BOTH
+# encodings (the surviving replicas are one binary, one JSON); every
+# round must still merge into exactly the single-node answers.
 {
   printf '{"pairs":['
   awk '{printf "%s[%d,%d]", (NR > 1 ? "," : ""), $1, $2}' "$WORK/pairs.txt"
   printf ']}'
 } > "$WORK/batch.json"
-curl -fsS -X POST --data-binary "@$WORK/batch.json" \
-  "http://$ROUTER_ADDR/v1/batch" > "$WORK/batch.out"
-sed -E 's/.*"results":\[([^]]*)\].*/\1/' "$WORK/batch.out" | tr ',' '\n' > "$WORK/batch_got.txt"
 awk '{print $3}' "$WORK/expected.txt" > "$WORK/batch_expected.txt"
-diff "$WORK/batch_expected.txt" "$WORK/batch_got.txt"
-echo "   scatter-gathered batch identical while degraded"
+for round in 1 2 3 4 5; do
+  curl -fsS -X POST --data-binary "@$WORK/batch.json" \
+    "http://$ROUTER_ADDR/v1/batch" > "$WORK/batch.out"
+  sed -E 's/.*"results":\[([^]]*)\].*/\1/' "$WORK/batch.out" | tr ',' '\n' > "$WORK/batch_got.txt"
+  diff "$WORK/batch_expected.txt" "$WORK/batch_got.txt" \
+    || { echo "mixed-wire batch round $round diverged from single-node answers"; exit 1; }
+done
+echo "   scatter-gathered batch identical while degraded, 5/5 rounds"
 
 echo "== router stats must show the kill (a down replica + failover/retry counters)"
 curl -fsS "http://$ROUTER_ADDR/v1/stats" > "$WORK/stats.json"
@@ -100,12 +122,12 @@ grep -q '"replicas_healthy":2' "$WORK/stats.json" || { echo "fleet not degraded 
 
 echo "== /metrics on the router: histogram counts must match the sweep exactly"
 curl -fsS "http://$ROUTER_ADDR/metrics" > "$WORK/router_metrics.txt"
-# 240 single queries and 1 batch went through the router; every one is a
-# histogram sample.
+# 240 single queries and 5 batch rounds went through the router; every
+# one is a histogram sample.
 grep -q 'reach_http_request_seconds_count{endpoint="reachable"} 240' "$WORK/router_metrics.txt" \
   || { echo "router reachable histogram count != 240"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
-grep -q 'reach_http_request_seconds_count{endpoint="batch"} 1' "$WORK/router_metrics.txt" \
-  || { echo "router batch histogram count != 1"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
+grep -q 'reach_http_request_seconds_count{endpoint="batch"} 5' "$WORK/router_metrics.txt" \
+  || { echo "router batch histogram count != 5"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
 grep -q 'reach_http_request_seconds_bucket{endpoint="reachable",le=' "$WORK/router_metrics.txt" \
   || { echo "router missing request _bucket series"; exit 1; }
 grep -q 'reach_router_upstream_seconds_bucket{' "$WORK/router_metrics.txt" \
@@ -117,7 +139,12 @@ grep -q 'reach_router_failovers_total' "$WORK/router_metrics.txt" \
   || { echo "router missing failover counter"; exit 1; }
 grep -q 'reach_router_replicas_healthy 2' "$WORK/router_metrics.txt" \
   || { echo "router healthy-replica gauge != 2"; exit 1; }
-echo "   router metrics: 240 reachable + 1 batch samples, key series present"
+# The mixed fleet must have scattered sub-batches over both encodings.
+grep -Eq 'reach_wire_frames_total\{encoding="binary"\} [1-9][0-9]*' "$WORK/router_metrics.txt" \
+  || { echo "router sent no binary frames"; grep reach_wire "$WORK/router_metrics.txt"; exit 1; }
+grep -Eq 'reach_wire_frames_total\{encoding="json"\} [1-9][0-9]*' "$WORK/router_metrics.txt" \
+  || { echo "router sent no JSON sub-batches"; grep reach_wire "$WORK/router_metrics.txt"; exit 1; }
+echo "   router metrics: 240 reachable + 5 batch samples, both wire encodings used"
 
 echo "== /metrics on a surviving replica: per-stage histograms must exist"
 REPLICA_METRICS="http://127.0.0.1:${REPLICA_PORTS[1]}/metrics"
