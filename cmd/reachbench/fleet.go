@@ -12,6 +12,7 @@ import (
 
 	reach "repro"
 	"repro/internal/fleet"
+	"repro/internal/mux"
 	"repro/internal/server"
 )
 
@@ -30,6 +31,7 @@ type localFleet struct {
 	oracles  []*reach.Oracle
 	router   *fleet.Router
 	httpSrvs []*http.Server
+	muxSrvs  []*mux.Server
 	snapTmp  string // temp snapshot path to remove, if we created one
 	stopOnce sync.Once
 }
@@ -37,8 +39,11 @@ type localFleet struct {
 // startLocalFleet builds the snapshot and brings up n replicas + router.
 // noObservers strips the observer fast path from every replica (and from
 // the build), so a -no-observers run measures the pure index path — the
-// end-to-end half of the ablation story.
-func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool, wire string) (*localFleet, error) {
+// end-to-end half of the ablation story. useMux gives every replica a
+// loopback stream-transport listener (advertised via healthz, so the
+// router negotiates it exactly as a production fleet would); false keeps
+// all router→replica traffic on HTTP.
+func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool, wire string, useMux bool) (*localFleet, error) {
 	if graphPath == "" {
 		return nil, fmt.Errorf("-replicas requires -graph (the fleet needs a graph to build its snapshot from)")
 	}
@@ -97,8 +102,24 @@ func startLocalFleet(graphPath, snapPath, method string, n int, noObservers bool
 		}
 		lf.oracles = append(lf.oracles, oracle)
 		g := oracle.Graph()
-		s := server.New(g, oracle, server.Config{OrigIDs: g.OrigIDs()})
+		cfg := server.Config{OrigIDs: g.OrigIDs()}
+		// Bind the stream-transport listener before server.New so healthz
+		// advertises the kernel-assigned port, mirroring reachd -mux-addr.
+		var muxLn net.Listener
+		if useMux {
+			muxLn, err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			cfg.MuxAddr = muxLn.Addr().String()
+		}
+		s := server.New(g, oracle, cfg)
 		lf.servers = append(lf.servers, s)
+		if muxLn != nil {
+			ms := s.NewMuxServer(func(string, ...any) {})
+			lf.muxSrvs = append(lf.muxSrvs, ms)
+			go ms.Serve(muxLn)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -163,6 +184,12 @@ func (lf *localFleet) stop() {
 		}
 		if lf.router != nil {
 			lf.router.Close()
+		}
+		for _, ms := range lf.muxSrvs {
+			// Force-close: the router (the only client) is gone already.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			ms.Shutdown(ctx)
 		}
 		for _, s := range lf.servers {
 			s.Close()

@@ -55,6 +55,7 @@ func main() {
 		fleetSnap  = flag.String("snapshot", "", "snapshot path for the -replicas fleet (reused if it exists; default: temp file)")
 		noObs      = flag.Bool("no-observers", false, "disable the observer fast path on the -replicas fleet (end-to-end ablation)")
 		wire       = flag.String("wire", "binary", "batch encoding toward the target: binary (JSON fallback when unsupported) or json (ablation)")
+		muxOn      = flag.Bool("mux", true, "give the -replicas fleet stream-transport listeners so the router pipelines batches over persistent connections (false: HTTP only)")
 	)
 	flag.Parse()
 	if *wire != "binary" && *wire != "json" {
@@ -63,7 +64,7 @@ func main() {
 	}
 
 	if *replicas > 0 {
-		lf, err := startLocalFleet(*graphFile, *fleetSnap, *fleetMeth, *replicas, *noObs, *wire)
+		lf, err := startLocalFleet(*graphFile, *fleetSnap, *fleetMeth, *replicas, *noObs, *wire, *muxOn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: %v\n", err)
 			os.Exit(1)

@@ -8,7 +8,12 @@
 //	reachd -graph g.txt [-method DL] [-addr :8080] [-snapshot g.snap]
 //	       [-workers N] [-cache-policy s3fifo] [-cache-capacity 1048576]
 //	       [-cache-shards 64] [-request-timeout 0] [-max-inflight 0]
-//	       [-slow-query-log 50ms] [-pprof] [-observers on]
+//	       [-slow-query-log 50ms] [-pprof] [-observers on] [-mux-addr :9090]
+//
+// -mux-addr additionally listens for the raw-TCP stream transport
+// (docs/WIRE.md, "Stream transport"): routers that learn the address
+// from /v1/healthz pipeline batches over a few persistent connections
+// instead of one HTTP request each. Requires -wire=binary (the default).
 //
 // If -snapshot names an existing snapshot of the same graph and method,
 // it is memory-mapped and serving starts in milliseconds — the snapshot
@@ -48,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +61,7 @@ import (
 	"time"
 
 	reach "repro"
+	"repro/internal/mux"
 	"repro/internal/server"
 )
 
@@ -75,8 +82,16 @@ func main() {
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		observers = flag.String("observers", "on", "observer fast path in front of the index: on or off")
 		wire      = flag.String("wire", "binary", "accept binary batch frames on /v1/batch: binary (JSON still accepted) or json (binary answered 415)")
+		muxAddr   = flag.String("mux-addr", "", "listen address for the raw-TCP stream transport (e.g. :9090); advertised via /v1/healthz, empty disables")
 	)
 	flag.Parse()
+	if *muxAddr != "" && *wire == "json" {
+		// The stream transport carries binary frames; offering it while
+		// refusing the encoding would advertise a listener that rejects
+		// every batch.
+		fmt.Fprintf(os.Stderr, "reachd: -mux-addr requires -wire=binary\n")
+		os.Exit(1)
+	}
 	if *observers != "on" && *observers != "off" {
 		fmt.Fprintf(os.Stderr, "reachd: unknown -observers %q (want on or off)\n", *observers)
 		os.Exit(1)
@@ -98,7 +113,7 @@ func main() {
 			methodSet = true
 		}
 	})
-	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, *observers == "off", server.Config{
+	if err := run(*graphPath, *method, methodSet, *addr, *snapshot, *muxAddr, *observers == "off", server.Config{
 		Workers:            *workers,
 		CachePolicy:        *policy,
 		CacheShards:        *shards,
@@ -115,7 +130,7 @@ func main() {
 	}
 }
 
-func run(graphPath, method string, methodSet bool, addr, snapshot string, noObservers bool, cfg server.Config) error {
+func run(graphPath, method string, methodSet bool, addr, snapshot, muxAddr string, noObservers bool, cfg server.Config) error {
 	if graphPath == "" && snapshot == "" {
 		return fmt.Errorf("-graph or -snapshot is required")
 	}
@@ -149,6 +164,18 @@ func run(graphPath, method string, methodSet bool, addr, snapshot string, noObse
 	}
 	cfg.OrigIDs = g.OrigIDs()
 
+	// Bind the stream-transport listener before building the server, so
+	// healthz advertises the address the kernel actually assigned (":0"
+	// and wildcard hosts resolve here) rather than the flag's wish.
+	var muxLn net.Listener
+	if muxAddr != "" {
+		muxLn, err = net.Listen("tcp", muxAddr)
+		if err != nil {
+			return fmt.Errorf("mux listener: %w", err)
+		}
+		cfg.MuxAddr = muxLn.Addr().String()
+	}
+
 	s := server.New(g, oracle, cfg)
 	// ReadHeaderTimeout bounds header trickling independently of
 	// -request-timeout (which covers the body and the query itself), so
@@ -158,13 +185,33 @@ func run(graphPath, method string, methodSet bool, addr, snapshot string, noObse
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	var muxSrv *mux.Server
+	if muxLn != nil {
+		muxSrv = s.NewMuxServer(log.Printf)
+		go func() {
+			log.Printf("serving stream transport on %s", muxLn.Addr())
+			if serr := muxSrv.Serve(muxLn); serr != nil {
+				errc <- fmt.Errorf("mux: %w", serr)
+			}
+		}()
+	}
 	go func() {
 		log.Printf("serving %s index on %s", oracle.Method(), addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	shutdownMux := func(ctx context.Context) {
+		if muxSrv != nil {
+			if merr := muxSrv.Shutdown(ctx); merr != nil {
+				log.Printf("warning: mux shutdown: %v", merr)
+			}
+		}
+	}
 	select {
 	case err := <-errc:
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		shutdownMux(closeCtx)
+		cancel()
 		s.Close()
 		return err
 	case <-ctx.Done():
@@ -173,6 +220,7 @@ func run(graphPath, method string, methodSet bool, addr, snapshot string, noObse
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err = httpSrv.Shutdown(shutCtx)
+	shutdownMux(shutCtx)
 	s.Close()
 	if errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown timed out")

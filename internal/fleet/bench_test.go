@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"testing"
 
@@ -13,11 +14,21 @@ import (
 	"repro/internal/server"
 )
 
+// benchWireMux is the stream-transport dimension of the wire benchmarks:
+// binary frames over persistent mux connections instead of HTTP requests.
+const benchWireMux = "mux"
+
 // benchFleet stands up n real replicas (shared immutable oracle, the
 // same thing N mmaps of one snapshot give) and a router over them
-// speaking the given wire encoding to replicas.
+// speaking the given wire encoding to replicas; benchWireMux gives each
+// replica a stream-transport listener and lets the router negotiate it
+// from healthz, exactly as a production fleet would.
 func benchFleet(b *testing.B, n int, wire string) (*Router, *reach.Graph) {
 	b.Helper()
+	useMux := wire == benchWireMux
+	if useMux {
+		wire = WireBinary
+	}
 	raw := gen.CitationDAG(5000, 4, 0.5, 3)
 	edges := make([][2]uint32, 0, raw.NumEdges())
 	raw.Edges(func(u, v graph.Vertex) bool {
@@ -34,12 +45,30 @@ func benchFleet(b *testing.B, n int, wire string) (*Router, *reach.Graph) {
 	}
 	var bases []string
 	for i := 0; i < n; i++ {
-		s := server.New(g, oracle, server.Config{})
+		scfg := server.Config{}
+		var muxLn net.Listener
+		if useMux {
+			muxLn, err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			scfg.MuxAddr = muxLn.Addr().String()
+		}
+		s := server.New(g, oracle, scfg)
+		if muxLn != nil {
+			ms := s.NewMuxServer(func(string, ...any) {})
+			go ms.Serve(muxLn)
+			b.Cleanup(func() {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel() // force-close; the router is gone by cleanup time
+				ms.Shutdown(ctx)
+			})
+		}
 		ts := httptest.NewServer(s.Handler())
 		b.Cleanup(func() { ts.Close(); s.Close() })
 		bases = append(bases, ts.URL)
 	}
-	cfg := Config{Replicas: bases, Wire: wire, Logf: func(string, ...any) {}}
+	cfg := Config{Replicas: bases, Wire: wire, DisableMux: !useMux, Logf: func(string, ...any) {}}
 	rt, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -59,35 +88,46 @@ func benchPairs(g *reach.Graph, size int) [][2]uint64 {
 }
 
 // BenchmarkRouterBatch measures the scatter-gather fan-out overhead: one
-// 4096-pair batch through a router fronting 1 vs 3 replicas, on both
-// wire encodings, with the pairs/op rate making throughput comparable to
-// the single-node BenchmarkServerBatch. replicas=1 isolates the router's
-// own hop (proxy + merge cost); replicas=3 adds the scatter across the
+// batch through a router fronting 1 vs 3 replicas, on every wire
+// encoding, with the pairs/op rate making throughput comparable to the
+// single-node BenchmarkServerBatch. replicas=1 isolates the router's own
+// hop (proxy + merge cost); replicas=3 adds the scatter across the
 // fleet; wire=json vs wire=binary is the encoding ablation the binary
-// protocol exists for. One untimed priming batch warms the replica
-// caches so the loop measures steady-state serving, not oracle warmup —
-// the wire comparison is meaningless if iteration one buries both
-// encodings under index probes.
+// protocol exists for, and wire=mux sends the same binary frames over
+// persistent stream-transport connections — the transport ablation on
+// top. The two batch sizes separate the regimes: at 512 pairs the
+// per-request transport overhead dominates (where mux earns its keep),
+// at 4096 the replica's serving compute does (where the transports
+// converge). One untimed priming batch warms the replica caches (and,
+// for mux, dials the connection pool) so the loop measures steady-state
+// serving, not oracle warmup — the wire comparison is meaningless if
+// iteration one buries both encodings under index probes.
 func BenchmarkRouterBatch(b *testing.B) {
-	const batch = 4096
 	for _, n := range []int{1, 3} {
-		for _, wire := range []string{WireBinary, WireJSON} {
-			b.Run(fmt.Sprintf("replicas=%d/wire=%s", n, wire), func(b *testing.B) {
-				rt, g := benchFleet(b, n, wire)
-				pairs := benchPairs(g, batch)
-				ctx := context.Background()
-				if _, err := rt.Batch(ctx, pairs); err != nil {
-					b.Fatal(err)
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := rt.Batch(ctx, pairs); err != nil {
-						b.Fatal(err)
+		for _, wire := range []string{benchWireMux, WireBinary, WireJSON} {
+			for _, batch := range []int{512, 4096} {
+				b.Run(fmt.Sprintf("replicas=%d/wire=%s/batch=%d", n, wire, batch), func(b *testing.B) {
+					rt, g := benchFleet(b, n, wire)
+					pairs := benchPairs(g, batch)
+					ctx := context.Background()
+					// Priming, repeated enough times that every replica's
+					// caches are warm and (for mux) every pool connection
+					// has been round-robin'd to and dialed.
+					for range 4 {
+						if _, err := rt.Batch(ctx, pairs); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
-			})
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := rt.Batch(ctx, pairs); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "pairs/sec")
+				})
+			}
 		}
 	}
 }
@@ -98,7 +138,7 @@ func BenchmarkRouterBatch(b *testing.B) {
 // BenchmarkRouterBatch/replicas=1 is the router's added hop.
 func BenchmarkDirectBatch(b *testing.B) {
 	const batch = 4096
-	for _, wire := range []string{WireBinary, WireJSON} {
+	for _, wire := range []string{benchWireMux, WireBinary, WireJSON} {
 		b.Run("wire="+wire, func(b *testing.B) {
 			rt, g := benchFleet(b, 1, wire)
 			pairs := benchPairs(g, batch)

@@ -4,15 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mux"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wireproto"
@@ -45,9 +49,19 @@ type Client struct {
 	// don't speak binary") and retries the batch as JSON.
 	binaryWire atomic.Bool
 
+	// muxPool, when set, is the persistent stream-transport connection
+	// pool to this replica (internal/mux): Batch tries it before HTTP and
+	// falls back per batch when no connection is available. The router
+	// installs it via UseMux from the replica's healthz "mux"
+	// advertisement and tears it down when the advertisement disappears.
+	muxPool atomic.Pointer[mux.Pool]
+
 	// counters receives this client's batch traffic accounting; NewClient
 	// allocates a private set, the router repoints it at a shared one.
-	counters *wireCounters
+	// muxCounters is the stream-transport equivalent (set before UseMux;
+	// nil gives each pool a private set).
+	counters    *wireCounters
+	muxCounters *mux.Counters
 }
 
 // NewClient returns a client for the replica at base (e.g.
@@ -65,6 +79,51 @@ func (c *Client) UseBinaryWire(on bool) { c.binaryWire.Store(on) }
 
 // BinaryWire reports whether Batch currently encodes wireproto frames.
 func (c *Client) BinaryWire() bool { return c.binaryWire.Load() }
+
+// UseMux points Batch at the replica's stream-transport listener:
+// subsequent batches go over persistent mux connections (dialed lazily,
+// fingerprint-checked in the handshake) with per-batch HTTP fallback.
+// An empty addr tears the pool down — the replica stopped advertising
+// the capability. Idempotent per (addr, fingerprint), so the router can
+// call it on every probe; a changed address or fingerprint replaces the
+// pool (closing the old one) so stale connections can't outlive what
+// healthz now claims.
+func (c *Client) UseMux(addr, fingerprint string) {
+	old := c.muxPool.Load()
+	if addr == "" {
+		if old != nil && c.muxPool.CompareAndSwap(old, nil) {
+			old.Close()
+		}
+		return
+	}
+	if old != nil && old.Addr() == addr && old.Fingerprint() == fingerprint {
+		return
+	}
+	p := mux.NewPool(addr, mux.DefaultConnsPerReplica, mux.ClientConfig{
+		Fingerprint: fingerprint,
+		Counters:    c.muxCounters,
+	})
+	if c.muxPool.CompareAndSwap(old, p) {
+		if old != nil {
+			old.Close()
+		}
+	} else {
+		p.Close() // lost a race with a concurrent UseMux; keep the winner
+	}
+}
+
+// MuxActive reports whether Batch currently tries the stream transport
+// first — the per-replica "transport" truth /v1/stats exposes.
+func (c *Client) MuxActive() bool { return c.muxPool.Load() != nil }
+
+// MuxOpenConns reports the pool's currently open connections (0 with no
+// pool), feeding the router's reach_mux_conns gauge.
+func (c *Client) MuxOpenConns() int {
+	if p := c.muxPool.Load(); p != nil {
+		return p.OpenConns()
+	}
+	return 0
+}
 
 // Base returns the replica's base URL.
 func (c *Client) Base() string { return c.base }
@@ -192,8 +251,25 @@ func (c *Client) Reachable(ctx context.Context, u, v uint64) (server.ReachableRe
 // With the binary wire negotiated (see UseBinaryWire), pairs go as one
 // wireproto frame; JSON remains the fallback for replicas that answer
 // 415 and for batches whose IDs exceed the frame format's uint32 range.
+//
+// With a mux pool installed on top (see UseMux), the frame goes over a
+// persistent stream-transport connection instead of an HTTP request;
+// when no connection is available (dial failure, backoff window, a
+// connection that just died) the batch falls back to HTTP binary — the
+// fallback is per batch, so the transport self-heals without the router
+// noticing.
 func (c *Client) Batch(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
 	if c.binaryWire.Load() {
+		if p := c.muxPool.Load(); p != nil {
+			results, ok, err := c.batchMux(ctx, p, pairs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return results, nil
+			}
+			// Fell through: no usable connection or wide IDs — try HTTP.
+		}
 		results, ok, err := c.batchBinary(ctx, pairs)
 		if err != nil {
 			return nil, err
@@ -205,6 +281,75 @@ func (c *Client) Batch(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
 		// demoted itself to JSON for good).
 	}
 	return c.batchJSON(ctx, pairs)
+}
+
+// batchMux sends pairs over the stream transport. ok=false with a nil
+// error means "try HTTP instead, this batch": the pool has no usable
+// connection right now (it redials in the background), the connection
+// died mid-flight (a transport error, not a replica verdict), or the
+// batch carries IDs wider than the frame format's uint32. Replica
+// verdicts — error frames — surface as *StatusError exactly like HTTP
+// statuses, so the router's retry/failover policy is transport-blind.
+func (c *Client) batchMux(ctx context.Context, p *mux.Pool, pairs [][2]uint64) (results []bool, ok bool, err error) {
+	for _, pr := range pairs {
+		if pr[0] > math.MaxUint32 || pr[1] > math.MaxUint32 {
+			return nil, false, nil
+		}
+	}
+	cn, err := p.Get(ctx)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, false, ctxErr
+		}
+		return nil, false, nil // no connection: backoff window or dial failure
+	}
+	n := len(pairs)
+	sc := clientScratchPool.Get().(*clientScratch)
+	defer clientScratchPool.Put(sc)
+	if cap(sc.pairs) < n {
+		sc.pairs = make([][2]uint32, n)
+	}
+	p32 := sc.pairs[:n]
+	for i, pr := range pairs {
+		p32[i] = [2]uint32{uint32(pr[0]), uint32(pr[1])}
+	}
+	out := make([]bool, n)
+	if err := cn.Batch(ctx, p32, out, obs.TraceFrom(ctx)); err != nil {
+		var f *mux.Fail
+		if errors.As(err, &f) {
+			// The replica answered and refused — same verdict it would
+			// have given over HTTP, so same error shape.
+			return nil, false, &StatusError{Status: f.Status, Body: f.Msg}
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, false, ctxErr
+		}
+		// Transport failure: the connection is dead (the pool replaces it
+		// on a later Get). The replica may be fine — let HTTP decide.
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// resolveMuxAddr turns a replica's advertised mux address into a
+// dialable one. Replicas advertise whatever their listener bound; a
+// wildcard host (":9090", "0.0.0.0:9090", "[::]:9090") names every
+// interface and none, so the router substitutes the host it already
+// reaches the replica's HTTP API on. Returns "" for an unparseable
+// advertisement — the router then just stays on HTTP.
+func resolveMuxAddr(base, adv string) string {
+	host, port, err := net.SplitHostPort(adv)
+	if err != nil || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		u, err := url.Parse(base)
+		if err != nil || u.Hostname() == "" {
+			return ""
+		}
+		host = u.Hostname()
+	}
+	return net.JoinHostPort(host, port)
 }
 
 func (c *Client) batchJSON(ctx context.Context, pairs [][2]uint64) ([]bool, error) {
@@ -342,5 +487,10 @@ func (c *Client) batchBinary(ctx context.Context, pairs [][2]uint64) (results []
 }
 
 // CloseIdleConnections releases the client's pooled keep-alive
-// connections.
-func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }
+// connections — HTTP keep-alives and the mux pool both.
+func (c *Client) CloseIdleConnections() {
+	c.hc.CloseIdleConnections()
+	if old := c.muxPool.Load(); old != nil && c.muxPool.CompareAndSwap(old, nil) {
+		old.Close()
+	}
+}

@@ -240,8 +240,19 @@ type ReplicaStats struct {
 	// Wire is the batch encoding this router currently sends the
 	// replica ("binary" or "json"), as negotiated from its healthz wire
 	// capability — the observable truth of a mixed fleet.
-	Wire     string `json:"wire"`
-	InFlight int64  `json:"in_flight"`
+	Wire string `json:"wire"`
+	// Transport is how batches currently travel: "mux" when the router
+	// negotiated the persistent stream transport from the replica's
+	// healthz advertisement, "http" otherwise. (A mux replica still
+	// falls back to HTTP per batch when no connection is up; Transport
+	// reports the negotiation, which is deterministic, not the last
+	// batch's route, which is not.)
+	Transport string `json:"transport"`
+	// Capabilities is the replica's advertised wire capability list,
+	// sorted at enrollment so stats reads are deterministic no matter
+	// what order the replica's healthz listed them in.
+	Capabilities []string `json:"capabilities,omitempty"`
+	InFlight     int64    `json:"in_flight"`
 	// Requests/Errors/Rejected count what THIS router sent the replica;
 	// the replica's own lifetime counters are under Upstream.
 	Requests int64 `json:"requests"`
@@ -325,20 +336,26 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 		if r.client.BinaryWire() {
 			wire = WireBinary
 		}
+		transport := "http"
+		if r.client.MuxActive() {
+			transport = "mux"
+		}
 		st := ReplicaStats{
-			Base:     r.base,
-			State:    stateName(r.state.Load()),
-			Wire:     wire,
-			InFlight: r.inflight.Load(),
-			Requests: r.requests.Load(),
-			Errors:   r.errors.Load(),
-			Rejected: r.rejected.Load(),
+			Base:      r.base,
+			State:     stateName(r.state.Load()),
+			Wire:      wire,
+			Transport: transport,
+			InFlight:  r.inflight.Load(),
+			Requests:  r.requests.Load(),
+			Errors:    r.errors.Load(),
+			Rejected:  r.rejected.Load(),
 		}
 		if id := r.ident.Load(); id != nil {
 			st.Fingerprint = id.Fingerprint
 			st.Method = id.Method
 			st.GoVersion = id.GoVersion
 			st.Revision = id.Revision
+			st.Capabilities = id.Capabilities
 		}
 		out.Replicas[i] = st
 		if st.State != "healthy" {

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mux"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// advertises the capability and JSON to the rest; WireJSON forces
 	// JSON everywhere (ablation / escape hatch). See docs/WIRE.md.
 	Wire string
+	// DisableMux keeps all batches on HTTP even when a replica's healthz
+	// advertises a stream-transport listener (ablation / escape hatch;
+	// WireJSON implies it, since the mux transport carries binary
+	// frames). Off by default: replicas that advertise "mux" get
+	// persistent pipelined connections, the rest stay on HTTP.
+	DisableMux bool
 }
 
 // Config.Wire values.
@@ -156,6 +163,15 @@ type identity struct {
 	Vertices    int
 	GoVersion   string
 	Revision    string
+	// Capabilities is the replica's advertised wire capability list,
+	// sorted once at enrollment: healthz order is not part of the
+	// contract (negotiation matches by membership, not position), and
+	// sorting here keeps every downstream read — /v1/stats rows, logs,
+	// e2e asserts — deterministic regardless of what the replica sent.
+	Capabilities []string
+	// Mux is the replica's advertised stream-transport listener ("" when
+	// it offers none).
+	Mux string
 }
 
 // replica is the router's view of one backend.
@@ -231,6 +247,11 @@ type routerMetrics struct {
 	// every replica client; same series names as the replicas' own, so
 	// one scrape query shows both tiers (tx here is rx there).
 	wire wireCounters
+	// muxTraffic is the stream-transport sibling of wire, shared across
+	// every replica client's mux pool; exposed as reach_mux_frames_total
+	// / reach_mux_bytes_total, again mirroring the replicas' own series
+	// (tx here is rx there).
+	muxTraffic mux.Counters
 
 	slow *obs.SlowLog
 }
@@ -272,6 +293,14 @@ func (m *routerMetrics) init() {
 		obs.Labels{"direction": "rx", "encoding": "binary"}, m.wire.rxBinary.Load)
 	m.reg.CounterFunc("reach_wire_bytes_total", "Batch body bytes exchanged with replicas, by direction (tx = requests sent, rx = responses read) and encoding.",
 		obs.Labels{"direction": "tx", "encoding": "binary"}, m.wire.txBinary.Load)
+	m.reg.CounterFunc("reach_mux_frames_total", "Stream-transport frames exchanged with replicas, by direction (tx = requests sent, rx = responses read).",
+		obs.Labels{"direction": "tx"}, m.muxTraffic.FramesTx.Load)
+	m.reg.CounterFunc("reach_mux_frames_total", "Stream-transport frames exchanged with replicas, by direction (tx = requests sent, rx = responses read).",
+		obs.Labels{"direction": "rx"}, m.muxTraffic.FramesRx.Load)
+	m.reg.CounterFunc("reach_mux_bytes_total", "Stream-transport bytes exchanged with replicas, by direction (tx = sent, rx = read), envelopes and trace fields included.",
+		obs.Labels{"direction": "tx"}, m.muxTraffic.BytesTx.Load)
+	m.reg.CounterFunc("reach_mux_bytes_total", "Stream-transport bytes exchanged with replicas, by direction (tx = sent, rx = read), envelopes and trace fields included.",
+		obs.Labels{"direction": "rx"}, m.muxTraffic.BytesRx.Load)
 	// m.slow is assigned after init returns; the closure (unlike a method
 	// value) picks up the final pointer at scrape time.
 	m.reg.CounterFunc("reach_router_slow_queries_total", "Routed requests recorded in the slow-query log.", nil,
@@ -311,9 +340,10 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		}
 		seen[base] = true
 		client := NewClient(base, cfg.UpstreamTimeout)
-		// All replica clients account into the router's shared wire
-		// counters instead of their private ones.
+		// All replica clients account into the router's shared wire and
+		// mux traffic counters instead of their private ones.
 		client.counters = &rt.met.wire
+		client.muxCounters = &rt.met.muxTraffic
 		rt.replicas = append(rt.replicas, &replica{
 			base:   base,
 			client: client,
@@ -326,6 +356,14 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		func() float64 { return float64(len(rt.healthy(nil))) })
 	rt.met.reg.GaugeFunc("reach_router_replicas_total", "Replicas configured, healthy or not.", nil,
 		func() float64 { return float64(len(rt.replicas)) })
+	rt.met.reg.GaugeFunc("reach_mux_conns", "Open stream-transport (mux) connections across all replicas.", nil,
+		func() float64 {
+			n := 0
+			for _, r := range rt.replicas {
+				n += r.client.MuxOpenConns()
+			}
+			return float64(n)
+		})
 	var wg sync.WaitGroup
 	for _, r := range rt.replicas {
 		wg.Add(1)
@@ -412,15 +450,29 @@ func (rt *Router) probe(r *replica) {
 		}
 		return
 	}
+	caps := slices.Clone(hz.Wire)
+	slices.Sort(caps)
 	id := identity{
 		Fingerprint: hz.Fingerprint, Method: hz.Method, Vertices: hz.Vertices,
 		GoVersion: hz.GoVersion, Revision: hz.Revision,
+		Capabilities: caps, Mux: hz.Mux,
 	}
 	r.ident.Store(&id)
 	// Wire negotiation, re-decided at every probe: binary only when the
-	// router wants it AND the replica's healthz advertises it. A healthz
+	// router wants it AND the replica's healthz advertises it (matched by
+	// membership — advertisement order carries no meaning). A healthz
 	// without the capability (pre-binary build, or -wire=json) gets JSON.
-	r.client.UseBinaryWire(rt.cfg.Wire == WireBinary && slices.Contains(hz.Wire, "binary"))
+	useBinary := rt.cfg.Wire == WireBinary && slices.Contains(hz.Wire, "binary")
+	r.client.UseBinaryWire(useBinary)
+	// Transport negotiation rides on top: a binary-speaking replica that
+	// advertises a mux listener gets the persistent stream transport,
+	// re-decided (and torn down when the advertisement disappears — say a
+	// replica restarted without -mux-addr) at every probe.
+	muxAddr := ""
+	if useBinary && !rt.cfg.DisableMux && hz.Mux != "" {
+		muxAddr = resolveMuxAddr(r.base, hz.Mux)
+	}
+	r.client.UseMux(muxAddr, hz.Fingerprint)
 	r.consecFails = 0
 	r.nextProbe = time.Now().Add(rt.cfg.ProbeInterval)
 	if !rt.enroll(&id) {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,6 +162,79 @@ func TestClientDemotesOn415(t *testing.T) {
 	if c.counters.framesBinary.Load() != 1 || c.counters.framesJSON.Load() != 1 {
 		t.Fatalf("counters binary=%d json=%d, want 1 and 1 (one rejected frame, one JSON retry)",
 			c.counters.framesBinary.Load(), c.counters.framesJSON.Load())
+	}
+}
+
+// TestClientStaysDemotedUntilReEnrollment walks the whole demotion
+// lifecycle through a router: a binary-negotiated client that gets a 415
+// demotes itself to JSON, sends no further binary frames no matter how
+// many batches follow — even after the replica starts speaking binary
+// again — and is only re-promoted when a health probe re-negotiates from
+// a healthz that advertises the capability. That is the contract: the
+// 415 is the replica's word until enrollment says otherwise.
+func TestClientStaysDemotedUntilReEnrollment(t *testing.T) {
+	g, oracle := realOracle(t)
+	// One address, two personalities: the replica starts JSON-only (the
+	// stale-negotiation scenario a -wire=json restart produces) and later
+	// "restarts" as binary-capable behind the same URL.
+	sJSON := server.New(g, oracle, server.Config{DisableBinaryWire: true})
+	sBin := server.New(g, oracle, server.Config{})
+	t.Cleanup(func() { sJSON.Close(); sBin.Close() })
+	hJSON, hBin := sJSON.Handler(), sBin.Handler()
+	var current atomic.Pointer[http.Handler]
+	current.Store(&hJSON)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*current.Load()).ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	// A probe interval long enough that only probes this test triggers
+	// run: re-promotion must be observably tied to a probe, not a timer.
+	cfg := silentCfg(ts.URL)
+	cfg.ProbeInterval = time.Hour
+	rt := newTestRouter(t, cfg)
+	r := rt.replicas[0]
+	c := r.client
+
+	// The initial probe saw a JSON-only healthz; plant the stale binary
+	// belief the demotion path exists to correct.
+	c.UseBinaryWire(true)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Batch(context.Background(), [][2]uint64{{1, 2}}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if c.BinaryWire() {
+			t.Fatalf("batch %d: client not demoted after the 415", i)
+		}
+	}
+	if got := c.counters.framesBinary.Load(); got != 1 {
+		t.Fatalf("demoted client sent %d binary frames, want exactly 1 (the rejected one)", got)
+	}
+
+	// The replica "restarts" binary-capable. With no probe yet, the
+	// demotion must hold: the client has no business retrying binary on
+	// its own.
+	current.Store(&hBin)
+	if _, err := c.Batch(context.Background(), [][2]uint64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.BinaryWire() || c.counters.framesBinary.Load() != 1 {
+		t.Fatalf("client re-promoted itself without a probe (binary=%v frames=%d)",
+			c.BinaryWire(), c.counters.framesBinary.Load())
+	}
+
+	// Re-enrollment: one probe against the binary-capable healthz. (The
+	// background loop ticks at ProbeInterval/4 — 15 minutes here — so this
+	// is the only prober.)
+	rt.probe(r)
+	if !c.BinaryWire() {
+		t.Fatal("probe against binary-advertising healthz did not re-promote the client")
+	}
+	if _, err := c.Batch(context.Background(), [][2]uint64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.counters.framesBinary.Load(); got != 2 {
+		t.Fatalf("re-promoted client sent %d binary frames total, want 2", got)
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mux
+
+const raceEnabled = false

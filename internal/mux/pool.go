@@ -1,0 +1,143 @@
+package mux
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dial backoff after a failed attempt: exponential from 250ms to 15s.
+// A connection that dies after working redials immediately (backoff
+// only punishes failed dials, not lost connections).
+const (
+	dialBackoffMin = 250 * time.Millisecond
+	dialBackoffMax = 15 * time.Second
+)
+
+// Pool keeps a small fixed set of connections toward one replica's mux
+// listener and hands them out round-robin. Dials happen lazily on Get,
+// at most one per slot at a time; while a slot is backing off or being
+// dialed, Get returns ErrNoConn and the caller sends that batch over
+// HTTP instead — the transport never adds latency it was built to
+// remove.
+type Pool struct {
+	addr string
+	cfg  ClientConfig
+	size int
+	rr   atomic.Uint32
+
+	mu      sync.Mutex
+	conns   []*Conn
+	dialing []bool
+	next    []time.Time
+	backoff []time.Duration
+	closed  bool
+}
+
+// NewPool builds a pool of size connections toward addr. cfg carries
+// the expected fingerprint, window and shared counters.
+func NewPool(addr string, size int, cfg ClientConfig) *Pool {
+	if size <= 0 {
+		size = DefaultConnsPerReplica
+	}
+	cfg.defaults()
+	return &Pool{
+		addr:    addr,
+		cfg:     cfg,
+		size:    size,
+		conns:   make([]*Conn, size),
+		dialing: make([]bool, size),
+		next:    make([]time.Time, size),
+		backoff: make([]time.Duration, size),
+	}
+}
+
+// Addr returns the address this pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Fingerprint returns the snapshot fingerprint this pool expects.
+func (p *Pool) Fingerprint() string { return p.cfg.Fingerprint }
+
+// Get returns a live connection, dialing one synchronously if its slot
+// is idle and not backing off. ErrNoConn means "not now, use HTTP";
+// any other error is the dial's (also a fallback signal, but worth
+// surfacing to logs).
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	i := int(p.rr.Add(1)) % p.size
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cn := p.conns[i]; cn != nil && !cn.Dead() {
+		p.mu.Unlock()
+		return cn, nil
+	}
+	if p.dialing[i] || time.Now().Before(p.next[i]) {
+		p.mu.Unlock()
+		return nil, ErrNoConn
+	}
+	p.dialing[i] = true
+	p.mu.Unlock()
+
+	cn, err := Dial(ctx, p.addr, p.cfg)
+
+	p.mu.Lock()
+	p.dialing[i] = false
+	if err != nil {
+		if p.backoff[i] == 0 {
+			p.backoff[i] = dialBackoffMin
+		} else if p.backoff[i] < dialBackoffMax {
+			p.backoff[i] *= 2
+		}
+		p.next[i] = time.Now().Add(p.backoff[i])
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.backoff[i] = 0
+	p.next[i] = time.Time{}
+	if p.closed {
+		p.mu.Unlock()
+		cn.Close()
+		return nil, ErrClosed
+	}
+	if old := p.conns[i]; old != nil {
+		old.fail(ErrClosed)
+	}
+	p.conns[i] = cn
+	p.mu.Unlock()
+	return cn, nil
+}
+
+// OpenConns counts live connections (feeds the reach_mux_conns gauge).
+func (p *Pool) OpenConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, cn := range p.conns {
+		if cn != nil && !cn.Dead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down every connection; subsequent Gets fail with
+// ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]*Conn, len(p.conns))
+	copy(conns, p.conns)
+	p.mu.Unlock()
+	for _, cn := range conns {
+		if cn != nil {
+			cn.Close()
+		}
+	}
+}

@@ -223,8 +223,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// is omitted entirely, which is exactly what a pre-binary replica
 	// sends — one "JSON only" signal, not two.
 	var wire []string
+	var muxAddr string
 	if !s.cfg.DisableBinaryWire {
 		wire = []string{"json", "binary"}
+		// The mux transport carries the same binary frames, so disabling
+		// the binary wire hides the mux listener too: a router must never
+		// negotiate a transport the replica would refuse to decode.
+		muxAddr = s.cfg.MuxAddr
 	}
 	s.writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:        "ok",
@@ -236,6 +241,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Revision:      bi.Revision,
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
 		Wire:          wire,
+		Mux:           muxAddr,
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mux"
 	"repro/internal/obs"
 	"repro/internal/observe"
 )
@@ -34,9 +35,13 @@ type metrics struct {
 	wireTxBinary     atomic.Int64
 
 	reg *obs.Registry
-	// Request-level histograms, one per query endpoint.
+	// Request-level histograms, one per query endpoint. reqMux is the
+	// batch endpoint served over the stream transport; its clock starts
+	// at batch-function entry (the transport decoded the frame already),
+	// the others at HTTP handler entry.
 	reqReachable *obs.Histogram
 	reqBatch     *obs.Histogram
+	reqMux       *obs.Histogram
 	// Stage histograms, recorded per pair (cache/probe) or per chunk.
 	cacheDur *obs.Histogram
 	probeDur *obs.Histogram
@@ -53,6 +58,9 @@ func newMetrics() *metrics {
 	m.reqBatch = m.reg.Histogram("reach_http_request_seconds",
 		"End-to-end latency of query requests, from handler entry to response write.",
 		obs.Labels{"endpoint": "batch"})
+	m.reqMux = m.reg.Histogram("reach_http_request_seconds",
+		"End-to-end latency of query requests, from handler entry to response write.",
+		obs.Labels{"endpoint": "mux"})
 	m.cacheDur = m.reg.Histogram("reach_stage_seconds",
 		"Per-stage serving latency: cache_lookup and index_probe per pair, chunk_dispatch per batch chunk.",
 		obs.Labels{"stage": "cache_lookup"})
@@ -128,6 +136,23 @@ func (m *metrics) registerServer(s *Server) {
 				return 0
 			})
 	}
+}
+
+// registerMux adds the stream-transport (internal/mux) series. Called
+// from NewMuxServer rather than newMetrics: without a mux listener the
+// series don't exist, matching how healthz omits the "mux" field.
+func (m *metrics) registerMux(ms *mux.Server) {
+	t := ms.Traffic()
+	m.reg.GaugeFunc("reach_mux_conns", "Open stream-transport (mux) connections.", nil,
+		func() float64 { return float64(ms.OpenConns()) })
+	m.reg.CounterFunc("reach_mux_frames_total", "Stream-transport frames, by direction (rx = requests read, tx = responses written).",
+		obs.Labels{"direction": "rx"}, t.FramesRx.Load)
+	m.reg.CounterFunc("reach_mux_frames_total", "Stream-transport frames, by direction (rx = requests read, tx = responses written).",
+		obs.Labels{"direction": "tx"}, t.FramesTx.Load)
+	m.reg.CounterFunc("reach_mux_bytes_total", "Stream-transport bytes on the wire, by direction (rx = read, tx = written), envelopes and trace fields included.",
+		obs.Labels{"direction": "rx"}, t.BytesRx.Load)
+	m.reg.CounterFunc("reach_mux_bytes_total", "Stream-transport bytes on the wire, by direction (rx = read, tx = written), envelopes and trace fields included.",
+		obs.Labels{"direction": "tx"}, t.BytesTx.Load)
 }
 
 // record tallies one answered pair-query.

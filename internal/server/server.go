@@ -77,6 +77,14 @@ type Config struct {
 	// indistinguishable from a pre-binary one, so routers send it JSON).
 	// Operational escape hatch — see docs/WIRE.md.
 	DisableBinaryWire bool
+	// MuxAddr is the host:port the replica's mux listener (the raw-TCP
+	// stream transport, internal/mux) is bound to; /v1/healthz advertises
+	// it so routers can upgrade from HTTP. Empty means no mux listener.
+	// reachd binds the listener first and passes the resolved address, so
+	// what healthz advertises is always dialable. Ignored (not
+	// advertised) with DisableBinaryWire: the stream transport carries
+	// the same binary frames.
+	MuxAddr string
 }
 
 func (c Config) withDefaults() Config {

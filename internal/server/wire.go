@@ -33,6 +33,12 @@ type HealthzResponse struct {
 	// the scatter encoding; absent (pre-binary replicas, or -wire=json)
 	// means JSON only. See docs/WIRE.md.
 	Wire []string `json:"wire,omitempty"`
+	// Mux is the host:port of this replica's raw-TCP stream-transport
+	// listener (docs/WIRE.md, "Stream transport"). Routers that speak the
+	// mux protocol dial it and pipeline batches over a few persistent
+	// connections instead of one HTTP request per batch. Absent means
+	// HTTP only.
+	Mux string `json:"mux,omitempty"`
 }
 
 // ReachableResponse is the /v1/reachable payload; U and V echo the

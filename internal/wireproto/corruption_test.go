@@ -2,6 +2,7 @@ package wireproto
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -37,11 +38,17 @@ func decodeAny(t testing.TB, frame []byte) {
 			t.Fatalf("error round trip not byte-identical:\n got %x\nwant %x", re, frame)
 		}
 	}
+	if caps, fp, err := DecodeHandshake(frame); err == nil {
+		re := make([]byte, HandshakeSize(len(fp)))
+		if EncodeHandshake(re, caps, fp); !bytes.Equal(re, frame) {
+			t.Fatalf("handshake round trip not byte-identical:\n got %x\nwant %x", re, frame)
+		}
+	}
 	IsError(frame)
 	ParseHeader(frame)
 }
 
-// seedFrames builds one valid frame of each kind, the same trio the
+// seedFrames builds one valid frame of each kind, the same set the
 // checked-in fuzz corpus and the corruption sweep mutate.
 func seedFrames() [][]byte {
 	req := make([]byte, RequestSize(3))
@@ -54,7 +61,9 @@ func seedFrames() [][]byte {
 	EncodeResponse(resp, results)
 	errf := make([]byte, ErrorSize(len("replica overloaded")))
 	EncodeError(errf, 429, "replica overloaded")
-	return [][]byte{req, resp, errf}
+	hs := make([]byte, HandshakeSize(16))
+	EncodeHandshake(hs, CapTrace, "8f14e45fceea167a")
+	return [][]byte{req, resp, errf, hs}
 }
 
 // TestWireCorruptionReturnsErrors mirrors the snapshot corruption
@@ -79,6 +88,9 @@ func TestWireCorruptionReturnsErrors(t *testing.T) {
 			if _, _, err := DecodeError(trunc); err == nil {
 				t.Fatalf("truncation to %d bytes decoded as an error frame", cut)
 			}
+			if _, _, err := DecodeHandshake(trunc); err == nil {
+				t.Fatalf("truncation to %d bytes decoded as a handshake", cut)
+			}
 			decodeAny(t, trunc)
 		}
 		for off := 0; off < len(frame); off++ {
@@ -88,6 +100,39 @@ func TestWireCorruptionReturnsErrors(t *testing.T) {
 				decodeAny(t, mut)
 			}
 		}
+	}
+}
+
+// TestOversizedTextFieldRejected pins the text-field caps: a frame
+// whose count claims more message/fingerprint bytes than the cap must
+// be rejected with ErrMsgLen before the count sizes anything — even
+// when the frame really is that long, and even when it is only a bare
+// header (the cap fires before the length arithmetic, so a hostile
+// 12-byte header cannot make a receiver expect a giant payload).
+func TestOversizedTextFieldRejected(t *testing.T) {
+	long := strings.Repeat("x", MaxErrorMsg+1)
+	big := make([]byte, ErrorSize(len(long)))
+	EncodeError(big, 500, long)
+	if _, _, err := DecodeError(big); err != ErrMsgLen {
+		t.Fatalf("DecodeError(oversized msg) = %v, want ErrMsgLen", err)
+	}
+	hdr := make([]byte, HeaderSize)
+	putHeader(hdr, FlagError, MaxErrorMsg+1)
+	if _, _, err := DecodeError(hdr); err != ErrMsgLen {
+		t.Fatalf("DecodeError(bare oversized header) = %v, want ErrMsgLen", err)
+	}
+	atCap := strings.Repeat("x", MaxErrorMsg)
+	ok := make([]byte, ErrorSize(len(atCap)))
+	EncodeError(ok, 500, atCap)
+	if _, msg, err := DecodeError(ok); err != nil || msg != atCap {
+		t.Fatalf("DecodeError(msg at cap) = %d bytes, %v; want the full message", len(msg), err)
+	}
+
+	longFP := strings.Repeat("f", MaxFingerprint+1)
+	hs := make([]byte, HandshakeSize(len(longFP)))
+	EncodeHandshake(hs, 0, longFP)
+	if _, _, err := DecodeHandshake(hs); err != ErrMsgLen {
+		t.Fatalf("DecodeHandshake(oversized fingerprint) = %v, want ErrMsgLen", err)
 	}
 }
 
@@ -101,11 +146,16 @@ func FuzzWireDecode(f *testing.F) {
 		f.Add(frame[:len(frame)/2])
 		f.Add(frame[:len(frame)-1])
 		flipped := bytes.Clone(frame)
-		flipped[4] ^= 0x02 // undefined flag bit
+		flipped[4] ^= 0x02 // mutate the kind: handshake bit on, or off on the handshake seed
 		f.Add(flipped)
 	}
 	f.Add([]byte{})
 	f.Add([]byte("RWB"))
+	// A bare header claiming an enormous error message: the text-field
+	// cap must reject the count before anything allocates for it.
+	oversized := make([]byte, HeaderSize)
+	putHeader(oversized, FlagError, MaxErrorMsg+1)
+	f.Add(oversized)
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		decodeAny(t, frame)
 	})

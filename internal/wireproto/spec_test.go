@@ -148,6 +148,42 @@ func TestWireSpecInSync(t *testing.T) {
 		t.Fatalf("error: DecodeError = (%d, %q, %v), spec documents (%d, %q)", status, msg, err, errStatus, errMsg)
 	}
 
+	doc = check("stream-envelope", make([]byte, EnvelopeSize), func(buf []byte) int {
+		PutEnvelope(buf, 7, 0, 36)
+		return EnvelopeSize
+	})
+	if stream, flags, frameLen, err := ParseEnvelope(doc, 1<<20); err != nil || stream != 7 || flags != 0 || frameLen != 36 {
+		t.Fatalf("stream-envelope: ParseEnvelope = (%d, %d, %d, %v), spec documents (7, 0, 36)",
+			stream, flags, frameLen, err)
+	}
+
+	const envTrace = "ab12"
+	doc = check("stream-envelope-trace", make([]byte, EnvelopeSize+TraceSize(len(envTrace))), func(buf []byte) int {
+		PutEnvelope(buf, 8, EnvFlagTrace, HeaderSize)
+		return EnvelopeSize + PutTrace(buf[EnvelopeSize:], envTrace)
+	})
+	stream, flags, frameLen, err := ParseEnvelope(doc, 1<<20)
+	if err != nil || stream != 8 || flags != EnvFlagTrace || frameLen != HeaderSize {
+		t.Fatalf("stream-envelope-trace: ParseEnvelope = (%d, %d, %d, %v), spec documents (8, %d, %d)",
+			stream, flags, frameLen, err, EnvFlagTrace, HeaderSize)
+	}
+	tn, err := ParseTraceLen(doc[EnvelopeSize:])
+	if err != nil || tn != len(envTrace) {
+		t.Fatalf("stream-envelope-trace: ParseTraceLen = (%d, %v), spec documents %d", tn, err, len(envTrace))
+	}
+	if got := string(doc[EnvelopeSize+4 : EnvelopeSize+4+tn]); got != envTrace {
+		t.Fatalf("stream-envelope-trace: trace ID %q, spec documents %q", got, envTrace)
+	}
+
+	const hsFP = "a1b2c3d4e5f60718"
+	doc = check("handshake", make([]byte, HandshakeSize(len(hsFP))), func(buf []byte) int {
+		return EncodeHandshake(buf, CapTrace, hsFP)
+	})
+	caps, fp, err := DecodeHandshake(doc)
+	if err != nil || caps != CapTrace || fp != hsFP {
+		t.Fatalf("handshake: DecodeHandshake = (%d, %q, %v), spec documents (%d, %q)", caps, fp, err, CapTrace, hsFP)
+	}
+
 	// Every example in the spec must be exercised above — an example
 	// this test does not know about is an example nothing keeps honest.
 	for name := range frames {

@@ -1,0 +1,109 @@
+package wireproto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	buf := make([]byte, EnvelopeSize)
+	PutEnvelope(buf, 7, EnvFlagTrace, 4108)
+	stream, flags, frameLen, err := ParseEnvelope(buf, 1<<20)
+	if err != nil {
+		t.Fatalf("ParseEnvelope: %v", err)
+	}
+	if stream != 7 || flags != EnvFlagTrace || frameLen != 4108 {
+		t.Fatalf("round trip = (%d, %#x, %d), want (7, %#x, 4108)", stream, flags, frameLen, EnvFlagTrace)
+	}
+}
+
+func TestEnvelopeValidation(t *testing.T) {
+	buf := make([]byte, EnvelopeSize)
+
+	if _, _, _, err := ParseEnvelope(buf[:EnvelopeSize-1], 1<<20); err != ErrTruncated {
+		t.Fatalf("short envelope: %v, want ErrTruncated", err)
+	}
+
+	PutEnvelope(buf, 1, 1<<7, HeaderSize) // undefined envelope flag bit
+	if _, _, _, err := ParseEnvelope(buf, 1<<20); err != ErrEnvFlags {
+		t.Fatalf("unknown env flag: %v, want ErrEnvFlags", err)
+	}
+
+	PutEnvelope(buf, 1, 0, HeaderSize-1) // shorter than any frame
+	if _, _, _, err := ParseEnvelope(buf, 1<<20); err != ErrEnvLength {
+		t.Fatalf("undersized frame length: %v, want ErrEnvLength", err)
+	}
+
+	PutEnvelope(buf, 1, 0, 1<<20+1) // past the receiver's bound
+	if _, _, _, err := ParseEnvelope(buf, 1<<20); err != ErrEnvLength {
+		t.Fatalf("oversized frame length: %v, want ErrEnvLength", err)
+	}
+
+	PutEnvelope(buf, 1, 0, 1<<20) // exactly at the bound is fine
+	if _, _, _, err := ParseEnvelope(buf, 1<<20); err != nil {
+		t.Fatalf("frame length at bound: %v, want nil", err)
+	}
+}
+
+func TestTraceFieldRoundTrip(t *testing.T) {
+	const trace = "8f14e45fceea167a"
+	buf := make([]byte, TraceSize(len(trace)))
+	if n := PutTrace(buf, trace); n != TraceSize(len(trace)) {
+		t.Fatalf("PutTrace wrote %d bytes, want %d", n, TraceSize(len(trace)))
+	}
+	n, err := ParseTraceLen(buf)
+	if err != nil || n != len(trace) {
+		t.Fatalf("ParseTraceLen = %d, %v; want %d, nil", n, err, len(trace))
+	}
+	if got := string(buf[TraceSize(0) : TraceSize(0)+n]); got != trace {
+		t.Fatalf("trace bytes = %q, want %q", got, trace)
+	}
+
+	if _, err := ParseTraceLen(buf[:2]); err != ErrTruncated {
+		t.Fatalf("short trace prefix: %v, want ErrTruncated", err)
+	}
+	long := make([]byte, TraceSize(MaxTraceBytes+1))
+	PutTrace(long, strings.Repeat("t", MaxTraceBytes+1))
+	if _, err := ParseTraceLen(long); err != ErrTraceLen {
+		t.Fatalf("oversized trace: %v, want ErrTraceLen", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	const fp = "00000000deadbeef"
+	buf := make([]byte, HandshakeSize(len(fp)))
+	if n := EncodeHandshake(buf, CapTrace, fp); n != len(buf) {
+		t.Fatalf("EncodeHandshake wrote %d bytes, want %d", n, len(buf))
+	}
+	caps, got, err := DecodeHandshake(buf)
+	if err != nil {
+		t.Fatalf("DecodeHandshake: %v", err)
+	}
+	if caps != CapTrace || got != fp {
+		t.Fatalf("round trip = (%#x, %q), want (%#x, %q)", caps, got, CapTrace, fp)
+	}
+
+	// An empty fingerprint (peer skips the identity check) is legal.
+	empty := make([]byte, HandshakeSize(0))
+	EncodeHandshake(empty, 0, "")
+	if caps, got, err := DecodeHandshake(empty); err != nil || caps != 0 || got != "" {
+		t.Fatalf("empty handshake = (%#x, %q, %v)", caps, got, err)
+	}
+
+	// Handshakes are their own kind: batch decoders must reject them
+	// and DecodeHandshake must reject batch frames.
+	if _, err := RequestCount(buf); err != ErrFrameKind {
+		t.Fatalf("RequestCount(handshake) = %v, want ErrFrameKind", err)
+	}
+	if _, err := ResponseCount(buf); err != ErrFrameKind {
+		t.Fatalf("ResponseCount(handshake) = %v, want ErrFrameKind", err)
+	}
+	if _, _, err := DecodeError(buf); err != ErrFrameKind {
+		t.Fatalf("DecodeError(handshake) = %v, want ErrFrameKind", err)
+	}
+	req := make([]byte, RequestSize(1))
+	EncodeRequest(req, [][2]uint32{{1, 2}})
+	if _, _, err := DecodeHandshake(req); err != ErrFrameKind {
+		t.Fatalf("DecodeHandshake(request) = %v, want ErrFrameKind", err)
+	}
+}

@@ -53,6 +53,13 @@ const (
 	// counts can only be garbage (and must be rejected before they size
 	// a buffer).
 	MaxCount = 1 << 28
+
+	// MaxErrorMsg caps an error frame's message length. Real error
+	// messages are one line; a count past this is garbage, and the cap
+	// keeps a hostile frame from making DecodeError build a huge string.
+	// 4096 matches the body cap HTTP clients already apply when reading
+	// error responses.
+	MaxErrorMsg = 4096
 )
 
 // Frame flags (bits of the header's flags field). Unknown bits are a
@@ -62,8 +69,13 @@ const (
 	// and the payload is a status code plus the message.
 	FlagError uint32 = 1 << 0
 
+	// FlagHandshake marks a stream-transport handshake frame: count is
+	// the fingerprint byte length and the payload is a capability mask
+	// plus the snapshot fingerprint (see stream.go and docs/WIRE.md).
+	FlagHandshake uint32 = 1 << 1
+
 	// knownFlags masks the flag bits this Version defines.
-	knownFlags = FlagError
+	knownFlags = FlagError | FlagHandshake
 )
 
 // Magic is the 3-byte frame signature: ASCII "RWB" (reach wire batch).
@@ -92,6 +104,10 @@ var (
 	// ErrBuffer: the caller-provided destination slice does not match
 	// the frame's count (size it with RequestCount/ResponseCount first).
 	ErrBuffer = errors.New("wireproto: destination buffer length does not match frame count")
+	// ErrMsgLen: a variable-length text field (error message, handshake
+	// fingerprint) exceeds its cap (MaxErrorMsg / MaxFingerprint) — the
+	// count is rejected before it sizes anything.
+	ErrMsgLen = errors.New("wireproto: text field exceeds length cap")
 )
 
 // Header is the fixed 12-byte prefix every frame starts with. The field
@@ -309,21 +325,27 @@ func EncodeError(buf []byte, status int, msg string) int {
 }
 
 // IsError reports whether frame is (at least headerwise) a valid error
-// frame, without validating its payload length.
+// frame, without validating its payload length. The flags must be
+// exactly FlagError: a frame mixing error with other kind bits is
+// corrupt, because encoders never produce one.
 func IsError(frame []byte) bool {
 	h, err := ParseHeader(frame)
-	return err == nil && h.Flags&FlagError != 0
+	return err == nil && h.Flags == FlagError
 }
 
 // DecodeError validates frame as an error frame and returns its status
-// code and message.
+// code and message. A count past MaxErrorMsg is rejected (ErrMsgLen)
+// before any length arithmetic or string building trusts it.
 func DecodeError(frame []byte) (status int, msg string, err error) {
 	h, err := ParseHeader(frame)
 	if err != nil {
 		return 0, "", err
 	}
-	if h.Flags&FlagError == 0 {
+	if h.Flags != FlagError {
 		return 0, "", ErrFrameKind
+	}
+	if h.Count > MaxErrorMsg {
+		return 0, "", ErrMsgLen
 	}
 	if len(frame) != ErrorSize(int(h.Count)) {
 		if len(frame) < ErrorSize(int(h.Count)) {

@@ -43,11 +43,18 @@ echo "== start 3 replicas (each mmap-loads the one snapshot) + the router"
 # Replica :${REPLICA_PORTS[1]} runs -wire=json (it survives the SIGKILL
 # below), so the sweep also proves the router's per-replica encoding
 # negotiation: a mixed fleet serves binary and JSON sub-batches side by
-# side and still answers exactly like single-node reachcli.
+# side and still answers exactly like single-node reachcli. Replica
+# :${REPLICA_PORTS[0]} additionally gets a -mux-addr stream listener
+# (port+100), so one fleet exercises all three replica transports at
+# once — mux streams, HTTP binary, HTTP JSON — and the SIGKILL below
+# lands on the mux replica, covering stream-leg death too.
 for port in "${REPLICA_PORTS[@]}"; do
   WIRE_FLAG=binary
+  MUX_FLAGS=()
+  if [ "$port" = "${REPLICA_PORTS[0]}" ]; then MUX_FLAGS=(-mux-addr "127.0.0.1:$((port + 100))"); fi
   if [ "$port" = "${REPLICA_PORTS[1]}" ]; then WIRE_FLAG=json; fi
   "$BIN/reachd" -snapshot "$WORK/g.snap" -addr "127.0.0.1:$port" -wire "$WIRE_FLAG" \
+    ${MUX_FLAGS[@]+"${MUX_FLAGS[@]}"} \
     > "$WORK/reachd-$port.log" 2>&1 &
   PIDS+=($!)
 done
@@ -78,6 +85,38 @@ for port in "${REPLICA_PORTS[0]}" "${REPLICA_PORTS[2]}"; do
 done
 echo "   stats: 2 replicas on binary frames, 1 on JSON"
 
+echo "== transport negotiation: mux streams to the advertising replica, HTTP to the rest"
+grep -qE "\"base\":\"http://127\.0\.0\.1:${REPLICA_PORTS[0]}\"[^{}]*\"transport\":\"mux\"" "$WORK/stats0.json" \
+  || { echo "mux-advertising replica not negotiated to mux"; cat "$WORK/stats0.json"; exit 1; }
+for port in "${REPLICA_PORTS[1]}" "${REPLICA_PORTS[2]}"; do
+  grep -qE "\"base\":\"http://127\.0\.0\.1:$port\"[^{}]*\"transport\":\"http\"" "$WORK/stats0.json" \
+    || { echo "non-advertising replica :$port not kept on HTTP"; cat "$WORK/stats0.json"; exit 1; }
+done
+echo "   stats: 1 replica on mux streams, 2 on HTTP"
+
+echo "== full 240-pair batch through the healthy 3/3 fleet: all three transports at once"
+{
+  printf '{"pairs":['
+  awk '{printf "%s[%d,%d]", (NR > 1 ? "," : ""), $1, $2}' "$WORK/pairs.txt"
+  printf ']}'
+} > "$WORK/batch.json"
+awk '{print $3}' "$WORK/expected.txt" > "$WORK/batch_expected.txt"
+curl -fsS -X POST --data-binary "@$WORK/batch.json" \
+  "http://$ROUTER_ADDR/v1/batch" > "$WORK/batch0.out"
+sed -E 's/.*"results":\[([^]]*)\].*/\1/' "$WORK/batch0.out" | tr ',' '\n' > "$WORK/batch0_got.txt"
+diff "$WORK/batch_expected.txt" "$WORK/batch0_got.txt" \
+  || { echo "healthy-fleet batch diverged from single-node answers"; exit 1; }
+
+echo "== /metrics on the mux replica (pre-kill): stream transport served its sub-batch"
+curl -fsS "http://127.0.0.1:${REPLICA_PORTS[0]}/metrics" > "$WORK/mux_replica_metrics.txt"
+grep -Eq 'reach_mux_frames_total\{direction="rx"\} [1-9][0-9]*' "$WORK/mux_replica_metrics.txt" \
+  || { echo "mux replica received no stream frames"; grep reach_mux "$WORK/mux_replica_metrics.txt"; exit 1; }
+grep -Eq 'reach_mux_conns [1-9][0-9]*' "$WORK/mux_replica_metrics.txt" \
+  || { echo "mux replica holds no stream connections"; grep reach_mux "$WORK/mux_replica_metrics.txt"; exit 1; }
+grep -q 'reach_http_request_seconds_count{endpoint="mux"}' "$WORK/mux_replica_metrics.txt" \
+  || { echo "mux replica missing endpoint=mux latency histogram"; exit 1; }
+echo "   mux replica metrics: stream frames received over live connections"
+
 echo "== sweep through the router, SIGKILLing replica :${REPLICA_PORTS[0]} at query 120"
 : > "$WORK/got.txt"
 n=0
@@ -98,14 +137,8 @@ echo "   sweep identical across router failover ($(wc -l < "$WORK/got.txt") quer
 
 echo "== full 240-pair batch through the degraded (2/3) fleet, 5 rounds"
 # Five rounds so the mixed fleet provably scatters sub-batches over BOTH
-# encodings (the surviving replicas are one binary, one JSON); every
-# round must still merge into exactly the single-node answers.
-{
-  printf '{"pairs":['
-  awk '{printf "%s[%d,%d]", (NR > 1 ? "," : ""), $1, $2}' "$WORK/pairs.txt"
-  printf ']}'
-} > "$WORK/batch.json"
-awk '{print $3}' "$WORK/expected.txt" > "$WORK/batch_expected.txt"
+# HTTP encodings (the surviving replicas are one binary, one JSON);
+# every round must still merge into exactly the single-node answers.
 for round in 1 2 3 4 5; do
   curl -fsS -X POST --data-binary "@$WORK/batch.json" \
     "http://$ROUTER_ADDR/v1/batch" > "$WORK/batch.out"
@@ -122,12 +155,12 @@ grep -q '"replicas_healthy":2' "$WORK/stats.json" || { echo "fleet not degraded 
 
 echo "== /metrics on the router: histogram counts must match the sweep exactly"
 curl -fsS "http://$ROUTER_ADDR/metrics" > "$WORK/router_metrics.txt"
-# 240 single queries and 5 batch rounds went through the router; every
-# one is a histogram sample.
+# 240 single queries and 6 batch rounds (1 healthy + 5 degraded) went
+# through the router; every one is a histogram sample.
 grep -q 'reach_http_request_seconds_count{endpoint="reachable"} 240' "$WORK/router_metrics.txt" \
   || { echo "router reachable histogram count != 240"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
-grep -q 'reach_http_request_seconds_count{endpoint="batch"} 5' "$WORK/router_metrics.txt" \
-  || { echo "router batch histogram count != 5"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
+grep -q 'reach_http_request_seconds_count{endpoint="batch"} 6' "$WORK/router_metrics.txt" \
+  || { echo "router batch histogram count != 6"; grep reach_http_request_seconds_count "$WORK/router_metrics.txt"; exit 1; }
 grep -q 'reach_http_request_seconds_bucket{endpoint="reachable",le=' "$WORK/router_metrics.txt" \
   || { echo "router missing request _bucket series"; exit 1; }
 grep -q 'reach_router_upstream_seconds_bucket{' "$WORK/router_metrics.txt" \
@@ -144,7 +177,17 @@ grep -Eq 'reach_wire_frames_total\{encoding="binary"\} [1-9][0-9]*' "$WORK/route
   || { echo "router sent no binary frames"; grep reach_wire "$WORK/router_metrics.txt"; exit 1; }
 grep -Eq 'reach_wire_frames_total\{encoding="json"\} [1-9][0-9]*' "$WORK/router_metrics.txt" \
   || { echo "router sent no JSON sub-batches"; grep reach_wire "$WORK/router_metrics.txt"; exit 1; }
-echo "   router metrics: 240 reachable + 5 batch samples, both wire encodings used"
+# The healthy-fleet round must have ridden the stream transport to the
+# mux replica (frames in both directions), and after that replica's
+# death the router must hold no open mux connections — stream-leg
+# teardown is part of the failover story.
+grep -Eq 'reach_mux_frames_total\{direction="tx"\} [1-9][0-9]*' "$WORK/router_metrics.txt" \
+  || { echo "router sent no mux frames"; grep reach_mux "$WORK/router_metrics.txt"; exit 1; }
+grep -Eq 'reach_mux_frames_total\{direction="rx"\} [1-9][0-9]*' "$WORK/router_metrics.txt" \
+  || { echo "router received no mux frames"; grep reach_mux "$WORK/router_metrics.txt"; exit 1; }
+grep -q 'reach_mux_conns 0' "$WORK/router_metrics.txt" \
+  || { echo "router still holds mux connections to a dead replica"; grep reach_mux "$WORK/router_metrics.txt"; exit 1; }
+echo "   router metrics: 240 reachable + 6 batch samples, both wire encodings + mux streams used"
 
 echo "== /metrics on a surviving replica: per-stage histograms must exist"
 REPLICA_METRICS="http://127.0.0.1:${REPLICA_PORTS[1]}/metrics"
